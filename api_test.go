@@ -1,0 +1,124 @@
+package adhocsim_test
+
+import (
+	"testing"
+	"time"
+
+	"adhocsim"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would, keeping the exported API honest.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	net := adhocsim.NewNetwork(1)
+	a := net.AddStation(adhocsim.Pos(0, 0), adhocsim.MACConfig{DataRate: adhocsim.Rate11})
+	b := net.AddStation(adhocsim.Pos(20, 0), adhocsim.MACConfig{DataRate: adhocsim.Rate11})
+
+	var sink adhocsim.UDPSink
+	sink.ListenUDP(b, 9000)
+	adhocsim.NewCBR(net, a, b.Addr(), 9000, 512, 0).Start()
+	net.Run(time.Second)
+
+	got := sink.ThroughputMbps(time.Second)
+	ideal := adhocsim.NewCapacityModel(adhocsim.Rate11, 512, false).ThroughputMbps()
+	if got < 0.85*ideal || got > 1.05*ideal {
+		t.Fatalf("throughput %.2f vs ideal %.2f", got, ideal)
+	}
+}
+
+func TestPublicTCPFlow(t *testing.T) {
+	net := adhocsim.NewNetwork(2, adhocsim.WithMSS(512))
+	a := net.AddStation(adhocsim.Pos(0, 0), adhocsim.MACConfig{})
+	b := net.AddStation(adhocsim.Pos(15, 0), adhocsim.MACConfig{})
+
+	var sink adhocsim.TCPSink
+	sink.ListenTCP(b, 80)
+	bulk := adhocsim.StartBulk(net, a, b.Addr(), 80, 512)
+	net.Run(time.Second)
+
+	if sink.Bytes == 0 {
+		t.Fatal("no TCP bytes delivered through the public API")
+	}
+	if !bulk.Conn().Established() {
+		t.Fatal("connection not established")
+	}
+}
+
+func TestPublicTable2(t *testing.T) {
+	rows := adhocsim.Table2()
+	if len(rows) != 8 {
+		t.Fatalf("Table2 rows = %d", len(rows))
+	}
+	if rows[0].Rate != adhocsim.Rate11 {
+		t.Fatal("Table2 ordering wrong")
+	}
+}
+
+func TestPublicExperimentRunners(t *testing.T) {
+	res := adhocsim.RunTwoNode(adhocsim.TwoNode{
+		Transport: adhocsim.UDP,
+		Duration:  500 * time.Millisecond,
+		Seed:      3,
+	})
+	if res.MeasuredMbps <= 0 || res.IdealMbps <= 0 {
+		t.Fatalf("RunTwoNode: %+v", res)
+	}
+
+	four := adhocsim.RunFourNode(adhocsim.FourNode{
+		Rate: adhocsim.Rate11, D12: 25, D23: 82.5, D34: 25,
+		Transport: adhocsim.UDP,
+		Duration:  500 * time.Millisecond,
+		Seed:      3,
+	})
+	if four.Session1Kbps+four.Session2Kbps <= 0 {
+		t.Fatalf("RunFourNode: %+v", four)
+	}
+
+	pts := adhocsim.RunLossSweep(adhocsim.LossSweep{
+		Rate:      adhocsim.Rate11,
+		Distances: []float64{20, 40},
+		Packets:   30,
+		Seed:      3,
+	})
+	if len(pts) != 2 || pts[0].Loss > pts[1].Loss {
+		t.Fatalf("RunLossSweep: %+v", pts)
+	}
+}
+
+func TestPublicProfileAndWeather(t *testing.T) {
+	p := adhocsim.DefaultProfile()
+	if p.MedianRange(adhocsim.Rate11) < 25 || p.MedianRange(adhocsim.Rate11) > 35 {
+		t.Fatalf("11 Mbit/s range = %.1f", p.MedianRange(adhocsim.Rate11))
+	}
+	damp := adhocsim.WeatherDamp.Apply(p)
+	if damp.MedianRange(adhocsim.Rate1) >= p.MedianRange(adhocsim.Rate1) {
+		t.Fatal("damp weather must shorten range")
+	}
+}
+
+func TestPublicARF(t *testing.T) {
+	arf := adhocsim.NewARF(adhocsim.Rate11)
+	if arf.Rate() != adhocsim.Rate11 {
+		t.Fatal("ARF start rate")
+	}
+	arf.OnFailure()
+	arf.OnFailure()
+	if arf.Rate() != adhocsim.Rate5_5 {
+		t.Fatal("ARF fallback")
+	}
+}
+
+func TestPublicMobility(t *testing.T) {
+	net := adhocsim.NewNetwork(9)
+	a := net.AddStation(adhocsim.Pos(10, 10), adhocsim.MACConfig{})
+	b := net.AddStation(adhocsim.Pos(20, 10), adhocsim.MACConfig{})
+	w := adhocsim.DefaultWaypoint()
+	w.Drive(net, a)
+	var lm adhocsim.LinkMonitor
+	lm.Watch(net, a, b, 100, 100*time.Millisecond)
+	net.Run(10 * time.Second)
+	if lm.UpTime == 0 {
+		t.Fatal("link monitor recorded nothing")
+	}
+}

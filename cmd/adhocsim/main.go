@@ -1,0 +1,108 @@
+// Command adhocsim runs the paper's experiments end to end and prints
+// their tables and figure data.
+//
+// Usage:
+//
+//	adhocsim -exp all                  # every table and figure
+//	adhocsim -exp fig7 -dur 10s        # one experiment, longer horizon
+//	adhocsim -exp fig3 -packets 400    # denser loss sweep
+//	adhocsim -exp fig3 -csv            # CSV for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adhocsim/internal/experiments"
+	"adhocsim/internal/phy"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig2, fig3, fig4, table3, fig7, fig9, fig11, fig12, all")
+	seed := flag.Uint64("seed", 42, "root random seed")
+	dur := flag.Duration("dur", 10*time.Second, "measurement horizon for throughput experiments")
+	packets := flag.Int("packets", 200, "probes per distance for loss sweeps")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables (fig3/fig4 only)")
+	flag.Parse()
+
+	ok := false
+	run := func(name string, fn func()) {
+		if *exp == name || *exp == "all" {
+			fn()
+			fmt.Println()
+			ok = true
+		}
+	}
+
+	run("table1", func() { fmt.Print(experiments.RenderTable1()) })
+	run("table2", func() { fmt.Print(experiments.RenderTable2()) })
+	run("fig2", func() {
+		cells := experiments.Figure2(phy.Rate11, *seed, *dur)
+		fmt.Print(experiments.RenderFigure2(phy.Rate11, cells))
+	})
+	run("fig3", func() {
+		curves := experiments.Figure3(*seed, *packets)
+		if *csv {
+			for _, r := range phy.Rates {
+				fmt.Printf("# %v\n%s", r, experiments.CSV(curves[r]))
+			}
+			return
+		}
+		named := map[string][]experiments.LossPoint{}
+		var order []string
+		for _, r := range phy.Rates {
+			named[r.String()] = curves[r]
+			order = append(order, r.String())
+		}
+		fmt.Print(experiments.RenderLossCurves(
+			"Figure 3. Packet loss rate vs distance", named, order))
+	})
+	run("fig4", func() {
+		curves := experiments.Figure4(*seed, *packets)
+		if *csv {
+			for _, c := range curves {
+				fmt.Printf("# %s\n%s", c.Day, experiments.CSV(c.Points))
+			}
+			return
+		}
+		named := map[string][]experiments.LossPoint{}
+		var order []string
+		for _, c := range curves {
+			named[c.Day] = c.Points
+			order = append(order, c.Day)
+		}
+		fmt.Print(experiments.RenderLossCurves(
+			"Figure 4. 1 Mbit/s transmission range on different days", named, order))
+	})
+	run("table3", func() {
+		fmt.Print(experiments.RenderTable3(experiments.Table3(*seed, *packets)))
+	})
+	run("fig7", func() {
+		fmt.Print(experiments.RenderFourNode(
+			"Figure 7. Four stations, 11 Mbit/s, 25/82.5/25 m",
+			"3->4", experiments.Figure7(*seed, *dur)))
+	})
+	run("fig9", func() {
+		fmt.Print(experiments.RenderFourNode(
+			"Figure 9. Four stations, 2 Mbit/s, 25/92.5/25 m",
+			"3->4", experiments.Figure9(*seed, *dur)))
+	})
+	run("fig11", func() {
+		fmt.Print(experiments.RenderFourNode(
+			"Figure 11. Symmetric scenario, 11 Mbit/s, 25/62.5/25 m",
+			"4->3", experiments.Figure11(*seed, *dur)))
+	})
+	run("fig12", func() {
+		fmt.Print(experiments.RenderFourNode(
+			"Figure 12. Symmetric scenario, 2 Mbit/s, 25/62.5/25 m",
+			"4->3", experiments.Figure12(*seed, *dur)))
+	})
+
+	if !ok {
+		fmt.Fprintf(os.Stderr, "adhocsim: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

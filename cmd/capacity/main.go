@@ -1,0 +1,57 @@
+// Command capacity evaluates the paper's analytic throughput model
+// (Equations (1) and (2)) and regenerates Tables 1 and 2.
+//
+// Usage:
+//
+//	capacity                 # print Tables 1 and 2
+//	capacity -rate 5.5 -m 700 -rts   # one configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adhocsim/internal/capacity"
+	"adhocsim/internal/experiments"
+	"adhocsim/internal/phy"
+)
+
+func main() {
+	rate := flag.Float64("rate", 0, "data rate in Mbit/s (1, 2, 5.5, 11); 0 prints the full tables")
+	m := flag.Int("m", 512, "application payload bytes")
+	rts := flag.Bool("rts", false, "enable RTS/CTS (Equation (2))")
+	tcp := flag.Bool("tcp", false, "charge TCP+IP header overhead instead of UDP+IP")
+	flag.Parse()
+
+	if *rate == 0 {
+		fmt.Print(experiments.RenderTable1())
+		fmt.Println()
+		fmt.Print(experiments.RenderTable2())
+		return
+	}
+
+	var r phy.Rate
+	switch *rate {
+	case 1:
+		r = phy.Rate1
+	case 2:
+		r = phy.Rate2
+	case 5.5:
+		r = phy.Rate5_5
+	case 11:
+		r = phy.Rate11
+	default:
+		fmt.Fprintf(os.Stderr, "capacity: invalid rate %v (want 1, 2, 5.5 or 11)\n", *rate)
+		os.Exit(2)
+	}
+	model := capacity.New(r, *m, *rts)
+	if *tcp {
+		model = model.WithOverhead(capacity.OverheadTCP)
+	}
+	fmt.Printf("rate=%v m=%dB rts=%v overhead=%dB\n", r, *m, *rts, model.OverheadBytes)
+	fmt.Printf("  T_DATA        %v\n", model.DataTime())
+	fmt.Printf("  cycle time    %v\n", model.CycleTime())
+	fmt.Printf("  throughput    %.3f Mbit/s\n", model.ThroughputMbps())
+	fmt.Printf("  utilization   %.1f %% of nominal\n", 100*model.Utilization())
+}

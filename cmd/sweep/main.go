@@ -1,0 +1,80 @@
+// Command sweep runs a generic loss-vs-distance sweep and emits CSV,
+// for exploring configurations beyond the paper's figures (different
+// rates, weather, shadowing, packet sizes).
+//
+// Usage:
+//
+//	sweep -rate 11 -from 10 -to 80 -step 5 -packets 300 > curve.csv
+//	sweep -rate 1 -weather damp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adhocsim/internal/experiments"
+	"adhocsim/internal/phy"
+)
+
+func main() {
+	rate := flag.Float64("rate", 11, "data rate in Mbit/s (1, 2, 5.5, 11)")
+	from := flag.Float64("from", 10, "start distance, meters")
+	to := flag.Float64("to", 160, "end distance, meters")
+	step := flag.Float64("step", 10, "distance step, meters")
+	packets := flag.Int("packets", 200, "probes per distance")
+	size := flag.Int("size", 512, "probe payload bytes")
+	seed := flag.Uint64("seed", 1, "random seed")
+	sigma := flag.Float64("sigma", -1, "override shadowing σ in dB (-1 keeps default)")
+	weather := flag.String("weather", "clear", "weather profile: clear or damp")
+	flag.Parse()
+
+	var r phy.Rate
+	switch *rate {
+	case 1:
+		r = phy.Rate1
+	case 2:
+		r = phy.Rate2
+	case 5.5:
+		r = phy.Rate5_5
+	case 11:
+		r = phy.Rate11
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: invalid rate %v\n", *rate)
+		os.Exit(2)
+	}
+	if *from <= 0 || *to < *from || *step <= 0 {
+		fmt.Fprintln(os.Stderr, "sweep: invalid distance range")
+		os.Exit(2)
+	}
+
+	prof := phy.DefaultProfile()
+	switch *weather {
+	case "clear":
+		prof = phy.WeatherClear.Apply(prof)
+	case "damp":
+		prof = phy.WeatherDamp.Apply(prof)
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown weather %q\n", *weather)
+		os.Exit(2)
+	}
+	if *sigma >= 0 {
+		prof.Fading.SigmaDB = *sigma
+	}
+
+	var ds []float64
+	for d := *from; d <= *to; d += *step {
+		ds = append(ds, d)
+	}
+	points := experiments.RunLossSweep(experiments.LossSweep{
+		Rate:       r,
+		Distances:  ds,
+		Packets:    *packets,
+		PacketSize: *size,
+		Seed:       *seed,
+		Profile:    prof,
+	})
+	fmt.Printf("# rate=%v weather=%s sigma=%.1fdB packets=%d\n", r, *weather, prof.Fading.SigmaDB, *packets)
+	fmt.Print(experiments.CSV(points))
+	fmt.Printf("# 50%% crossing: %.1f m\n", experiments.CrossingDistance(points, 0.5))
+}

@@ -1,0 +1,71 @@
+// Rate vs range: the paper's Figure 3 / Table 3 measurement. Sweeps the
+// distance between two stations at each 802.11b rate and prints the
+// packet-loss rate, then the estimated transmission range per rate.
+//
+//	go run ./examples/raterange
+package main
+
+import (
+	"fmt"
+
+	"adhocsim"
+)
+
+func main() {
+	const packets = 150
+
+	rates := []adhocsim.Rate{adhocsim.Rate11, adhocsim.Rate5_5, adhocsim.Rate2, adhocsim.Rate1}
+
+	fmt.Println("Packet loss rate vs distance (200 probes per point)")
+	fmt.Printf("%8s", "dist(m)")
+	for _, r := range rates {
+		fmt.Printf(" %10s", r)
+	}
+	fmt.Println()
+
+	curves := make(map[adhocsim.Rate][]adhocsim.LossPoint, len(rates))
+	for i, r := range rates {
+		curves[r] = adhocsim.RunLossSweep(adhocsim.LossSweep{
+			Rate:    r,
+			Packets: packets,
+			Seed:    uint64(100 + i),
+		})
+	}
+	for i := range curves[rates[0]] {
+		fmt.Printf("%8.0f", curves[rates[0]][i].Distance)
+		for _, r := range rates {
+			fmt.Printf(" %10.2f", curves[r][i].Loss)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nEstimated transmission ranges (50% loss crossing):")
+	prof := adhocsim.DefaultProfile()
+	for _, r := range rates {
+		fmt.Printf("  %-8v measured ≈ %5.1f m   (model median %5.1f m, paper: %s)\n",
+			r, crossing(curves[r]), prof.MedianRange(r), paperRange(r))
+	}
+}
+
+func crossing(pts []adhocsim.LossPoint) float64 {
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Loss <= 0.5 && pts[i].Loss >= 0.5 {
+			f := (0.5 - pts[i-1].Loss) / (pts[i].Loss - pts[i-1].Loss)
+			return pts[i-1].Distance + f*(pts[i].Distance-pts[i-1].Distance)
+		}
+	}
+	return pts[len(pts)-1].Distance
+}
+
+func paperRange(r adhocsim.Rate) string {
+	switch r {
+	case adhocsim.Rate11:
+		return "30 m"
+	case adhocsim.Rate5_5:
+		return "70 m"
+	case adhocsim.Rate2:
+		return "90-100 m"
+	default:
+		return "110-130 m"
+	}
+}

@@ -1,0 +1,201 @@
+// Package app provides the paper's two workloads and their measuring
+// sinks: a CBR source over UDP and a saturating bulk-transfer ("ftp")
+// source over TCP, both operating in the asymptotic regime of §3.1 —
+// "they always have packets ready for transmission" — with constant
+// packet sizes.
+package app
+
+import (
+	"encoding/binary"
+	"time"
+
+	"adhocsim/internal/network"
+	"adhocsim/internal/node"
+	"adhocsim/internal/transport"
+)
+
+// seqHeaderBytes is the CBR in-payload sequence header used for loss
+// accounting.
+const seqHeaderBytes = 4
+
+// CBR is a constant-bit-rate (or saturating) UDP source.
+type CBR struct {
+	net      *node.Network
+	from     *node.Station
+	dst      network.Addr
+	port     uint16
+	size     int
+	interval time.Duration // 0 = saturate the MAC queue
+
+	seq     uint32
+	started bool
+	filling bool // re-entrancy guard: queue-space events fire inside SendTo
+
+	// Sent counts datagrams handed to UDP successfully.
+	Sent uint64
+}
+
+// NewCBR creates a CBR source on station from, addressed to dst:port,
+// sending size-byte application packets. interval==0 selects the
+// asymptotic (always-backlogged) regime: the source keeps the MAC queue
+// full and refills on queue-space events. interval>0 paces packets.
+func NewCBR(net *node.Network, from *node.Station, dst network.Addr, port uint16, size int, interval time.Duration) *CBR {
+	if size < seqHeaderBytes {
+		size = seqHeaderBytes
+	}
+	return &CBR{net: net, from: from, dst: dst, port: port, size: size, interval: interval}
+}
+
+// Start begins generation. Safe to call once.
+func (c *CBR) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	if c.interval > 0 {
+		c.tickPaced()
+		return
+	}
+	c.from.Net.OnQueueSpace(c.fill)
+	c.fill()
+}
+
+func (c *CBR) tickPaced() {
+	c.sendOne()
+	c.net.Sched.After(c.interval, c.tickPaced)
+}
+
+func (c *CBR) fill() {
+	if c.filling {
+		return
+	}
+	c.filling = true
+	defer func() { c.filling = false }()
+	// Leave one queue slot free so SIFS responses and TCP ACKs of other
+	// flows on this station are never starved by the saturator.
+	for c.from.Net.QueueFree() > 1 {
+		if !c.sendOne() {
+			return
+		}
+	}
+}
+
+func (c *CBR) sendOne() bool {
+	payload := make([]byte, c.size)
+	binary.BigEndian.PutUint32(payload, c.seq)
+	if err := c.from.UDP.SendTo(payload, c.dst, c.port, c.port); err != nil {
+		return false
+	}
+	c.seq++
+	c.Sent++
+	return true
+}
+
+// UDPSink receives CBR traffic and keeps delivery statistics.
+type UDPSink struct {
+	// Received counts datagrams; Bytes counts application payload bytes.
+	Received uint64
+	Bytes    uint64
+	// MaxSeq is the highest sequence number observed (+1 == sender count
+	// lower bound in-flight losses aside); Gaps counts skipped sequence
+	// numbers, Reorders counts sequence regressions.
+	MaxSeq   uint32
+	Gaps     uint64
+	Reorders uint64
+
+	haveSeq bool
+	nextSeq uint32
+}
+
+// ListenUDP attaches the sink to a station's UDP port.
+func (s *UDPSink) ListenUDP(st *node.Station, port uint16) {
+	st.UDP.Listen(port, func(payload []byte, _ network.Addr, _ uint16) {
+		s.Received++
+		s.Bytes += uint64(len(payload))
+		if len(payload) < seqHeaderBytes {
+			return
+		}
+		seq := binary.BigEndian.Uint32(payload)
+		if seq > s.MaxSeq {
+			s.MaxSeq = seq
+		}
+		if !s.haveSeq {
+			s.haveSeq = true
+			s.nextSeq = seq + 1
+			return
+		}
+		switch {
+		case seq == s.nextSeq:
+			s.nextSeq++
+		case seq > s.nextSeq:
+			s.Gaps += uint64(seq - s.nextSeq)
+			s.nextSeq = seq + 1
+		default:
+			s.Reorders++
+		}
+	})
+}
+
+// ThroughputMbps converts the sink's byte count to application-level
+// Mbit/s over the given horizon.
+func (s *UDPSink) ThroughputMbps(horizon time.Duration) float64 {
+	return float64(s.Bytes) * 8 / horizon.Seconds() / 1e6
+}
+
+// Bulk is a saturating TCP sender: it keeps the connection's send buffer
+// full for the lifetime of the simulation, like an ftp transfer of an
+// unbounded file.
+type Bulk struct {
+	conn  *transport.Conn
+	chunk []byte
+
+	// Written counts bytes accepted into the send buffer.
+	Written uint64
+}
+
+// StartBulk dials dst:port from the station and saturates the
+// connection with size-byte application writes (the paper's 512-byte
+// packets; the harness also sets MSS=size so segments carry exactly one
+// packet).
+func StartBulk(net *node.Network, from *node.Station, dst network.Addr, port uint16, size int) *Bulk {
+	b := &Bulk{chunk: make([]byte, size)}
+	b.conn = from.TCP.Dial(dst, port)
+	b.conn.OnWritable(b.fill)
+	b.fill()
+	return b
+}
+
+// Conn exposes the underlying connection for instrumentation.
+func (b *Bulk) Conn() *transport.Conn { return b.conn }
+
+func (b *Bulk) fill() {
+	for {
+		n := b.conn.Write(b.chunk)
+		b.Written += uint64(n)
+		if n < len(b.chunk) {
+			return
+		}
+	}
+}
+
+// TCPSink accepts one bulk connection on a port and counts delivered
+// bytes.
+type TCPSink struct {
+	Bytes  uint64
+	Conns  int
+	closed bool
+}
+
+// ListenTCP starts the sink on the station's port.
+func (s *TCPSink) ListenTCP(st *node.Station, port uint16) {
+	st.TCP.Listen(port, func(c *transport.Conn) {
+		s.Conns++
+		c.OnData(func(p []byte) { s.Bytes += uint64(len(p)) })
+		c.OnClose(func() { s.closed = true })
+	})
+}
+
+// ThroughputMbps converts delivered bytes to Mbit/s over the horizon.
+func (s *TCPSink) ThroughputMbps(horizon time.Duration) float64 {
+	return float64(s.Bytes) * 8 / horizon.Seconds() / 1e6
+}

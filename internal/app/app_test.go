@@ -1,0 +1,142 @@
+package app
+
+import (
+	"testing"
+	"time"
+
+	"adhocsim/internal/mac"
+	"adhocsim/internal/node"
+	"adhocsim/internal/phy"
+)
+
+func cleanPair(seed uint64) (*node.Network, *node.Station, *node.Station) {
+	prof := phy.DefaultProfile()
+	prof.Fading.SigmaDB = 0
+	n := node.NewNetwork(seed, node.WithProfile(prof), node.WithMSS(512))
+	a := n.AddStation(phy.Pos(0, 0), mac.Config{DataRate: phy.Rate11})
+	b := n.AddStation(phy.Pos(10, 0), mac.Config{DataRate: phy.Rate11})
+	return n, a, b
+}
+
+func TestPacedCBRRate(t *testing.T) {
+	n, a, b := cleanPair(1)
+	var sink UDPSink
+	sink.ListenUDP(b, 9000)
+	// 100 packets/s × 500 B = 400 kbit/s, far below capacity: everything
+	// arrives and the measured rate matches the configured one.
+	cbr := NewCBR(n, a, b.Addr(), 9000, 500, 10*time.Millisecond)
+	cbr.Start()
+	n.Run(5 * time.Second)
+
+	if got := float64(sink.Received) / 5; got < 95 || got > 105 {
+		t.Fatalf("paced rate = %.1f pkt/s, want ~100", got)
+	}
+	if sink.Gaps != 0 || sink.Reorders != 0 {
+		t.Fatalf("clean channel: gaps=%d reorders=%d", sink.Gaps, sink.Reorders)
+	}
+	kbps := sink.ThroughputMbps(5*time.Second) * 1000
+	if kbps < 380 || kbps > 420 {
+		t.Fatalf("throughput = %.0f kbit/s, want ~400", kbps)
+	}
+}
+
+func TestSaturatingCBRFillsChannel(t *testing.T) {
+	n, a, b := cleanPair(2)
+	var sink UDPSink
+	sink.ListenUDP(b, 9000)
+	NewCBR(n, a, b.Addr(), 9000, 512, 0).Start()
+	n.Run(2 * time.Second)
+
+	// Saturation must reach the analytic bound's neighbourhood (~3.3).
+	if got := sink.ThroughputMbps(2 * time.Second); got < 3.0 {
+		t.Fatalf("saturating CBR reached only %.2f Mbit/s", got)
+	}
+	// The MAC queue stays backlogged the whole time.
+	if a.MAC.QueueLen() == 0 {
+		t.Fatal("saturator failed to keep the queue backlogged")
+	}
+}
+
+func TestCBRMinimumSize(t *testing.T) {
+	n, a, b := cleanPair(3)
+	var sink UDPSink
+	sink.ListenUDP(b, 9000)
+	// Size below the sequence header is bumped up, not broken.
+	cbr := NewCBR(n, a, b.Addr(), 9000, 1, 50*time.Millisecond)
+	cbr.Start()
+	n.Run(time.Second)
+	if sink.Received == 0 {
+		t.Fatal("tiny packets never delivered")
+	}
+}
+
+func TestCBRStartIdempotent(t *testing.T) {
+	n, a, b := cleanPair(4)
+	var sink UDPSink
+	sink.ListenUDP(b, 9000)
+	cbr := NewCBR(n, a, b.Addr(), 9000, 500, 100*time.Millisecond)
+	cbr.Start()
+	cbr.Start() // second Start must not double the rate
+	n.Run(time.Second)
+	if got := sink.Received; got > 12 {
+		t.Fatalf("received %d packets in 1 s at 10 pkt/s: double start?", got)
+	}
+}
+
+func TestUDPSinkGapAccounting(t *testing.T) {
+	// Lossy mid-range link: gaps observed must roughly equal the packets
+	// that went missing.
+	prof := phy.DefaultProfile()
+	n := node.NewNetwork(5, node.WithProfile(prof))
+	a := n.AddStation(phy.Pos(0, 0), mac.Config{DataRate: phy.Rate11, ShortRetryLimit: -1})
+	b := n.AddStation(phy.Pos(31, 0), mac.Config{DataRate: phy.Rate11})
+	var sink UDPSink
+	sink.ListenUDP(b, 9000)
+	cbr := NewCBR(n, a, b.Addr(), 9000, 500, 5*time.Millisecond)
+	cbr.Start()
+	n.Run(3 * time.Second)
+
+	if sink.Received == 0 || sink.Gaps == 0 {
+		t.Fatalf("expected both deliveries and losses: rx=%d gaps=%d", sink.Received, sink.Gaps)
+	}
+	missing := cbr.Sent - sink.Received
+	slack := missing / 5
+	if sink.Gaps < missing-10-slack || sink.Gaps > missing+10+slack {
+		t.Fatalf("gaps=%d vs missing=%d; accounting off", sink.Gaps, missing)
+	}
+}
+
+func TestBulkSaturatesTCP(t *testing.T) {
+	n, a, b := cleanPair(6)
+	var sink TCPSink
+	sink.ListenTCP(b, 9000)
+	bulk := StartBulk(n, a, b.Addr(), 9000, 512)
+	n.Run(2 * time.Second)
+
+	if sink.Conns != 1 {
+		t.Fatalf("accepted %d conns", sink.Conns)
+	}
+	mbps := sink.ThroughputMbps(2 * time.Second)
+	if mbps < 1.8 {
+		t.Fatalf("bulk TCP reached only %.2f Mbit/s", mbps)
+	}
+	if bulk.Written <= sink.Bytes {
+		t.Fatal("writer should stay ahead of the receiver")
+	}
+	if bulk.Conn().Stats.SegsSent == 0 {
+		t.Fatal("no segments sent")
+	}
+}
+
+func TestBulkBackpressure(t *testing.T) {
+	// The bulk writer must not buffer unboundedly: written bytes stay
+	// within the send-buffer cap of delivered bytes.
+	n, a, b := cleanPair(7)
+	var sink TCPSink
+	sink.ListenTCP(b, 9000)
+	bulk := StartBulk(n, a, b.Addr(), 9000, 512)
+	n.Run(time.Second)
+	if lead := bulk.Written - sink.Bytes; lead > 70<<10 {
+		t.Fatalf("writer leads by %d bytes; backpressure broken", lead)
+	}
+}

@@ -1,0 +1,153 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adhocsim/internal/phy"
+)
+
+func TestCycleTimeKnownValue(t *testing.T) {
+	// Hand-computed for 512 B + 28 B overhead at 11 Mbit/s, basic access,
+	// paper backoff (16 slots):
+	//   T_DATA = 192 + (272+4320)/11 µs ≈ 609.45 µs
+	//   cycle  = 50 + 609.45 + 10 + 248 + 320 + 2 ≈ 1239.5 µs
+	m := New(phy.Rate11, 512, false).PaperAssumptions()
+	got := m.CycleTime().Seconds() * 1e6
+	if math.Abs(got-1239.5) > 1 {
+		t.Fatalf("cycle = %.2f µs, want ≈1239.5", got)
+	}
+	th := m.ThroughputMbps()
+	if math.Abs(th-3.304) > 0.01 {
+		t.Fatalf("throughput = %.3f, want ≈3.304", th)
+	}
+}
+
+func TestMatchesPaperTable2(t *testing.T) {
+	// The paper's Table 2 contains small internal inconsistencies (its 1
+	// and 2 Mbit/s rows agree with Equation (1) to <2 %, the 11 Mbit/s
+	// rows only to ~8 %); assert our model is within 11 % everywhere
+	// without RTS and 13 % with it, and that every ordering the paper
+	// reports holds exactly.
+	paper := PaperTable2()
+	for _, row := range Table2() {
+		want := paper[row.Rate][row.PayloadBytes]
+		m := New(row.Rate, row.PayloadBytes, false).PaperAssumptions()
+		r := New(row.Rate, row.PayloadBytes, true).PaperAssumptions()
+		devNo := math.Abs(m.ThroughputMbps()-want[0]) / want[0]
+		devRTS := math.Abs(r.ThroughputMbps()-want[1]) / want[1]
+		if devNo > 0.11 {
+			t.Errorf("%v m=%d noRTS: got %.3f, paper %.3f (dev %.1f%%)",
+				row.Rate, row.PayloadBytes, m.ThroughputMbps(), want[0], devNo*100)
+		}
+		if devRTS > 0.13 {
+			t.Errorf("%v m=%d RTS: got %.3f, paper %.3f (dev %.1f%%)",
+				row.Rate, row.PayloadBytes, r.ThroughputMbps(), want[1], devRTS*100)
+		}
+	}
+}
+
+func TestLowRatesMatchPaperClosely(t *testing.T) {
+	// At 1 and 2 Mbit/s (basic access) the paper's own numbers agree
+	// with Equation (1) to better than 2 %.
+	paper := PaperTable2()
+	for _, rate := range []phy.Rate{phy.Rate1, phy.Rate2} {
+		for _, m := range []int{512, 1024} {
+			got := New(rate, m, false).PaperAssumptions().ThroughputMbps()
+			want := paper[rate][m][0]
+			if dev := math.Abs(got-want) / want; dev > 0.02 {
+				t.Errorf("%v m=%d: got %.3f, paper %.3f (dev %.1f%%)", rate, m, got, want, dev*100)
+			}
+		}
+	}
+}
+
+func TestOrderingProperties(t *testing.T) {
+	for _, m := range []int{64, 128, 256, 512, 1024, 1500} {
+		for i, rate := range phy.Rates {
+			base := New(rate, m, false)
+			rts := New(rate, m, true)
+			// RTS/CTS always costs throughput.
+			if rts.ThroughputMbps() >= base.ThroughputMbps() {
+				t.Fatalf("%v m=%d: RTS %.3f ≥ basic %.3f", rate, m, rts.ThroughputMbps(), base.ThroughputMbps())
+			}
+			// Higher rates always deliver more.
+			if i > 0 {
+				lower := New(phy.Rates[i-1], m, false)
+				if base.ThroughputMbps() <= lower.ThroughputMbps() {
+					t.Fatalf("m=%d: %v ≤ %v", m, rate, phy.Rates[i-1])
+				}
+			}
+		}
+	}
+}
+
+// Property: utilization grows with payload size (the paper: "this
+// percentage increases with the payload size") and never reaches 44 %
+// at 11 Mbit/s for m ≤ 1024.
+func TestUtilizationProperties(t *testing.T) {
+	prev := 0.0
+	for m := 64; m <= 2304; m += 64 {
+		u := New(phy.Rate11, m, false).Utilization()
+		if u <= prev {
+			t.Fatalf("utilization not increasing at m=%d", m)
+		}
+		prev = u
+	}
+	if u := New(phy.Rate11, 1024, false).Utilization(); u >= 0.47 {
+		t.Fatalf("utilization at m=1024 = %.2f, want < 0.47 (paper: < 44%%)", u)
+	}
+	if u := New(phy.Rate1, 1024, false).Utilization(); u < 0.80 {
+		t.Fatalf("1 Mbit/s utilization = %.2f, want > 0.80 (overheads shrink relatively)", u)
+	}
+}
+
+func TestThroughputPositiveProperty(t *testing.T) {
+	f := func(mRaw uint16, rtscts bool, rateIdx uint8) bool {
+		m := int(mRaw%2304) + 1
+		rate := phy.Rates[int(rateIdx)%len(phy.Rates)]
+		th := New(rate, m, rtscts).ThroughputMbps()
+		return th > 0 && th < rate.Mbps()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 8 {
+		t.Fatalf("Table2 has %d rows, want 8", len(rows))
+	}
+	if rows[0].Rate != phy.Rate11 || rows[len(rows)-1].Rate != phy.Rate1 {
+		t.Fatal("Table2 must be ordered rate-descending like the paper")
+	}
+	for _, r := range rows {
+		if r.RTS >= r.NoRTS {
+			t.Fatalf("row %+v: RTS ≥ NoRTS", r)
+		}
+	}
+}
+
+func TestControlRateDefaults(t *testing.T) {
+	if New(phy.Rate11, 512, false).controlRate() != phy.Rate2 {
+		t.Fatal("11 Mbit/s data should use 2 Mbit/s control")
+	}
+	if New(phy.Rate1, 512, false).controlRate() != phy.Rate1 {
+		t.Fatal("1 Mbit/s data should use 1 Mbit/s control")
+	}
+	m := New(phy.Rate11, 512, false)
+	m.ControlRate = phy.Rate1
+	if m.controlRate() != phy.Rate1 {
+		t.Fatal("explicit control rate ignored")
+	}
+}
+
+func TestOverheadPresets(t *testing.T) {
+	udp := New(phy.Rate11, 512, false)
+	tcp := udp.WithOverhead(OverheadTCP)
+	if tcp.ThroughputMbps() >= udp.ThroughputMbps() {
+		t.Fatal("TCP's larger headers must cost throughput")
+	}
+}

@@ -1,0 +1,245 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, built on the full simulated stack. Each runner is
+// deterministic given its seed; the cmd/adhocsim tool and the root-level
+// benchmarks print their outputs in the paper's layout.
+package experiments
+
+import (
+	"time"
+
+	"adhocsim/internal/app"
+	"adhocsim/internal/capacity"
+	"adhocsim/internal/mac"
+	"adhocsim/internal/node"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/stats"
+)
+
+// Transport selects the workload of a session: CBR/UDP or ftp/TCP, the
+// paper's two traffic types.
+type Transport int
+
+// Workload transports.
+const (
+	UDP Transport = iota
+	TCP
+)
+
+func (t Transport) String() string {
+	if t == TCP {
+		return "TCP"
+	}
+	return "UDP"
+}
+
+// rtsThreshold maps the paper's two access modes onto the MAC config.
+func rtsThreshold(rtscts bool) int {
+	if rtscts {
+		return mac.RTSAlways + 1 // any MSDU ≥ 1 byte is protected
+	}
+	return mac.RTSNever
+}
+
+// TwoNode parameterizes the single-session experiments of §3.1
+// (Figure 2) and the range sweeps of §3.2.
+type TwoNode struct {
+	Rate       phy.Rate
+	Distance   float64 // meters
+	Transport  Transport
+	RTSCTS     bool
+	PacketSize int           // application bytes (the paper uses 512)
+	Duration   time.Duration // measurement horizon
+	Seed       uint64
+	Profile    *phy.Profile // nil selects phy.DefaultProfile
+	// RateController optionally enables dynamic rate switching (ARF) at
+	// the sender; Rate is then only the starting point of the controller.
+	RateController mac.RateController
+}
+
+func (c TwoNode) withDefaults() TwoNode {
+	if c.Rate == 0 {
+		c.Rate = phy.Rate11
+	}
+	if c.Distance == 0 {
+		c.Distance = 10
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = 512
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	return c
+}
+
+// TwoNodeResult reports one single-session run next to its analytic
+// bound.
+type TwoNodeResult struct {
+	MeasuredMbps float64 // application-level goodput
+	IdealMbps    float64 // Equation (1)/(2) with matching parameters
+	SentPackets  uint64
+	RcvdPackets  uint64
+	Retries      uint64
+	Drops        uint64
+}
+
+// RunTwoNode runs one saturating session between two stations
+// cfg.Distance apart and reports goodput against the analytic maximum.
+func RunTwoNode(cfg TwoNode) TwoNodeResult {
+	cfg = cfg.withDefaults()
+	net := newNet(cfg.Seed, cfg.Profile, cfg.PacketSize)
+	macCfg := mac.Config{DataRate: cfg.Rate, RTSThreshold: rtsThreshold(cfg.RTSCTS)}
+	srcCfg := macCfg
+	srcCfg.RateControl = cfg.RateController
+	src := net.AddStation(phy.Pos(0, 0), srcCfg)
+	dst := net.AddStation(phy.Pos(cfg.Distance, 0), macCfg)
+
+	res := TwoNodeResult{IdealMbps: idealFor(cfg)}
+	switch cfg.Transport {
+	case UDP:
+		var sink app.UDPSink
+		sink.ListenUDP(dst, 9000)
+		cbr := app.NewCBR(net, src, dst.Addr(), 9000, cfg.PacketSize, 0)
+		cbr.Start()
+		net.Run(cfg.Duration)
+		res.MeasuredMbps = sink.ThroughputMbps(cfg.Duration)
+		res.SentPackets = cbr.Sent
+		res.RcvdPackets = sink.Received
+	case TCP:
+		var sink app.TCPSink
+		sink.ListenTCP(dst, 9000)
+		bulk := app.StartBulk(net, src, dst.Addr(), 9000, cfg.PacketSize)
+		net.Run(cfg.Duration)
+		res.MeasuredMbps = sink.ThroughputMbps(cfg.Duration)
+		res.SentPackets = bulk.Conn().Stats.SegsSent
+		res.RcvdPackets = sink.Bytes / uint64(cfg.PacketSize)
+	}
+	res.Retries = src.MAC.Counters.Retries()
+	res.Drops = src.MAC.Counters.TxDrops
+	return res
+}
+
+// idealFor evaluates the analytic model with the run's parameters. TCP
+// runs are still compared against Equation (1)/(2) — exactly what the
+// paper's Figure 2 does ("ideal" vs "real TCP") — so the TCP bars sit
+// visibly below their bound.
+func idealFor(cfg TwoNode) float64 {
+	m := capacity.New(cfg.Rate, cfg.PacketSize, cfg.RTSCTS)
+	if cfg.Transport == TCP {
+		m = m.WithOverhead(capacity.OverheadTCP)
+	}
+	return m.ThroughputMbps()
+}
+
+// FourNode parameterizes the two-session experiments of §3.3
+// (Figures 5–12): S1 S2 S3 S4 on a line, session 1 = S1→S2, session 2 =
+// S3→S4, or S4→S3 when Session2Reversed (the symmetric scenario of
+// Figure 10).
+type FourNode struct {
+	Rate             phy.Rate
+	D12, D23, D34    float64
+	Transport        Transport
+	RTSCTS           bool
+	Session2Reversed bool
+	PacketSize       int
+	Duration         time.Duration
+	Seed             uint64
+	Profile          *phy.Profile
+}
+
+func (c FourNode) withDefaults() FourNode {
+	if c.Rate == 0 {
+		c.Rate = phy.Rate11
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = 512
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	return c
+}
+
+// FourNodeResult reports both sessions' goodputs.
+type FourNodeResult struct {
+	Session1Kbps float64
+	Session2Kbps float64
+	// Fairness is Jain's index over the two sessions (1 = perfectly
+	// balanced, 0.5 = one session starved).
+	Fairness float64
+	// EIFS deferrals at the two senders: the mechanism behind the
+	// asymmetry (see DESIGN.md).
+	EIFS1, EIFS2       uint64
+	Retries1, Retries2 uint64
+}
+
+// RunFourNode runs the two concurrent sessions and reports per-session
+// goodput in kbit/s, as the paper's Figures 7, 9, 11 and 12 do.
+func RunFourNode(cfg FourNode) FourNodeResult {
+	return RunFourNodeWith(cfg, nil)
+}
+
+// RunFourNodeWith is RunFourNode with a MAC-config hook applied to every
+// station, used by the ablation benches (EIFS off, response-deferral
+// quirk on, ...).
+func RunFourNodeWith(cfg FourNode, mutate func(*mac.Config)) FourNodeResult {
+	cfg = cfg.withDefaults()
+	net := newNet(cfg.Seed, cfg.Profile, cfg.PacketSize)
+	macCfg := mac.Config{DataRate: cfg.Rate, RTSThreshold: rtsThreshold(cfg.RTSCTS)}
+	if mutate != nil {
+		mutate(&macCfg)
+	}
+
+	s1 := net.AddStation(phy.Pos(0, 0), macCfg)
+	s2 := net.AddStation(phy.Pos(cfg.D12, 0), macCfg)
+	s3 := net.AddStation(phy.Pos(cfg.D12+cfg.D23, 0), macCfg)
+	s4 := net.AddStation(phy.Pos(cfg.D12+cfg.D23+cfg.D34, 0), macCfg)
+
+	tx2, rx2 := s3, s4
+	if cfg.Session2Reversed {
+		tx2, rx2 = s4, s3
+	}
+
+	var bytes1, bytes2 func() uint64
+	switch cfg.Transport {
+	case UDP:
+		var sink1, sink2 app.UDPSink
+		sink1.ListenUDP(s2, 9000)
+		sink2.ListenUDP(rx2, 9000)
+		app.NewCBR(net, s1, s2.Addr(), 9000, cfg.PacketSize, 0).Start()
+		app.NewCBR(net, tx2, rx2.Addr(), 9000, cfg.PacketSize, 0).Start()
+		bytes1 = func() uint64 { return sink1.Bytes }
+		bytes2 = func() uint64 { return sink2.Bytes }
+	case TCP:
+		var sink1, sink2 app.TCPSink
+		sink1.ListenTCP(s2, 9000)
+		sink2.ListenTCP(rx2, 9000)
+		app.StartBulk(net, s1, s2.Addr(), 9000, cfg.PacketSize)
+		app.StartBulk(net, tx2, rx2.Addr(), 9000, cfg.PacketSize)
+		bytes1 = func() uint64 { return sink1.Bytes }
+		bytes2 = func() uint64 { return sink2.Bytes }
+	}
+	net.Run(cfg.Duration)
+
+	r := FourNodeResult{
+		Session1Kbps: stats.Kbps(bytes1(), cfg.Duration),
+		Session2Kbps: stats.Kbps(bytes2(), cfg.Duration),
+		EIFS1:        s1.MAC.Counters.EIFSDeferrals,
+		EIFS2:        tx2.MAC.Counters.EIFSDeferrals,
+		Retries1:     s1.MAC.Counters.Retries(),
+		Retries2:     tx2.MAC.Counters.Retries(),
+	}
+	r.Fairness = stats.JainFairness(r.Session1Kbps, r.Session2Kbps)
+	return r
+}
+
+// newNet builds a Network with the experiment conventions: TCP MSS equal
+// to the application packet size, so one packet rides in one segment as
+// in the paper's measurements.
+func newNet(seed uint64, profile *phy.Profile, packetSize int) *node.Network {
+	opts := []node.Option{node.WithMSS(packetSize)}
+	if profile != nil {
+		opts = append(opts, node.WithProfile(profile))
+	}
+	return node.NewNetwork(seed, opts...)
+}

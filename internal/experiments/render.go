@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adhocsim/internal/capacity"
+	"adhocsim/internal/phy"
+)
+
+// This file renders experiment results as the markdown/ASCII tables the
+// CLI tools print, laid out like the paper's tables and figure legends.
+
+// RenderTable1 prints the protocol parameters (the paper's Table 1).
+func RenderTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. IEEE 802.11b parameter values\n")
+	fmt.Fprintf(&b, "  Slot_Time  %v\n", phy.SlotTime)
+	fmt.Fprintf(&b, "  tau        %v\n", phy.PropDelay)
+	fmt.Fprintf(&b, "  PHY_hdr    %d bits (%v at 1 Mbit/s)\n", phy.PLCPBits, phy.PLCPTime)
+	fmt.Fprintf(&b, "  MAC_hdr    %d bits\n", phy.MACHeaderBits)
+	fmt.Fprintf(&b, "  DIFS       %v\n", phy.DIFS)
+	fmt.Fprintf(&b, "  SIFS       %v\n", phy.SIFS)
+	fmt.Fprintf(&b, "  ACK        %d bits + PHY_hdr\n", phy.ACKBits)
+	fmt.Fprintf(&b, "  CW_min     %d slots\n", phy.CWMin)
+	fmt.Fprintf(&b, "  CW_max     %d slots\n", phy.CWMax)
+	fmt.Fprintf(&b, "  EIFS       %v\n", phy.EIFS())
+	fmt.Fprintf(&b, "  Bit rates  1, 2, 5.5, 11 Mbit/s\n")
+	return b.String()
+}
+
+// RenderTable2 prints the analytic maximum throughputs next to the
+// paper's published values.
+func RenderTable2() string {
+	paper := capacity.PaperTable2()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2. Maximum throughputs (Mbit/s); paper's values in parentheses\n")
+	fmt.Fprintf(&b, "%-10s %-6s | %-22s | %-22s\n", "rate", "m", "no RTS/CTS", "RTS/CTS")
+	for _, row := range capacity.Table2() {
+		p := paper[row.Rate][row.PayloadBytes]
+		fmt.Fprintf(&b, "%-10s %-6d | %6.3f  (paper %5.3f) | %6.3f  (paper %5.3f)\n",
+			row.Rate, row.PayloadBytes, row.NoRTS, p[0], row.RTS, p[1])
+	}
+	return b.String()
+}
+
+// RenderFigure2 prints the ideal-vs-measured bars of Figure 2.
+func RenderFigure2(rate phy.Rate, cells []Figure2Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2. Theoretical vs measured throughput at %v (Mbit/s)\n", rate)
+	fmt.Fprintf(&b, "%-5s %-10s | %-7s | %-8s\n", "proto", "access", "ideal", "measured")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-5s %-10s | %7.3f | %8.3f\n", c.Transport, accessName(c.RTSCTS), c.Ideal, c.Measured)
+	}
+	return b.String()
+}
+
+// RenderLossCurves prints Figure 3/4-style loss-vs-distance tables.
+func RenderLossCurves(title string, curves map[string][]LossPoint, order []string) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-10s", "dist(m)")
+	for _, name := range order {
+		fmt.Fprintf(&b, " %12s", name)
+	}
+	fmt.Fprintln(&b)
+	if len(order) == 0 {
+		return b.String()
+	}
+	for i := range curves[order[0]] {
+		fmt.Fprintf(&b, "%-10.0f", curves[order[0]][i].Distance)
+		for _, name := range order {
+			fmt.Fprintf(&b, " %12.3f", curves[name][i].Loss)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderTable3 prints the range estimates against the paper's.
+func RenderTable3(rows []RangeEstimate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3. Transmission range estimates (meters)\n")
+	fmt.Fprintf(&b, "%-9s %-8s | %-9s %-9s %-9s\n", "rate", "frames", "measured", "analytic", "paper")
+	for _, r := range rows {
+		kind := "data"
+		if r.Control {
+			kind = "control"
+		}
+		fmt.Fprintf(&b, "%-9s %-8s | %7.1f   %7.1f   %7.1f\n", r.Rate, kind, r.Measured, r.Analytic, r.Paper)
+	}
+	return b.String()
+}
+
+// RenderFourNode prints a Figures 7/9/11/12-style panel.
+func RenderFourNode(title string, session2 string, cells []FourNodeCell) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-5s %-10s | %10s | %10s | %-8s\n", "proto", "access", "1->2 kbps", session2+" kbps", "fairness")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-5s %-10s | %10.0f | %10.0f | %8.2f\n",
+			c.Transport, accessName(c.RTSCTS), c.Result.Session1Kbps, c.Result.Session2Kbps, c.Result.Fairness)
+	}
+	return b.String()
+}
+
+func accessName(rts bool) string {
+	if rts {
+		return "RTS/CTS"
+	}
+	return "no RTS/CTS"
+}
+
+// CSV renders loss points as CSV for plotting.
+func CSV(points []LossPoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "distance_m,loss,analytic")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.1f,%.4f,%.4f\n", p.Distance, p.Loss, p.Analytic)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package mac
+
+import "adhocsim/internal/phy"
+
+// RateController selects the data rate for outgoing MSDUs and observes
+// transmission outcomes. The paper's experiments pin the NIC rate (its
+// §2 notes that "802.11b cards may implement a dynamic rate switching
+// with the objective of improving performance"); ARF below implements
+// that dynamic switching as an extension, with an ablation bench
+// comparing it against fixed rates.
+type RateController interface {
+	// Rate returns the rate to use for the next MSDU.
+	Rate() phy.Rate
+	// OnSuccess records a completed MSDU at the current rate.
+	OnSuccess()
+	// OnFailure records a failed transmission attempt at the current rate.
+	OnFailure()
+}
+
+// ARF implements Automatic Rate Fallback (Kamerman & Monteban's scheme,
+// the one shipped in WaveLAN-II and most early 802.11b firmware):
+//
+//   - after UpAfter consecutive successes, probe the next higher rate;
+//   - after DownAfter consecutive failures, fall back one rate;
+//   - a failure on the first frame after an upgrade (the probe) drops
+//     straight back down.
+type ARF struct {
+	// UpAfter is the consecutive-success threshold to move up (default 10).
+	UpAfter int
+	// DownAfter is the consecutive-failure threshold to move down (default 2).
+	DownAfter int
+
+	idx       int // index into phy.Rates
+	successes int
+	failures  int
+	probing   bool // first frame after an upgrade
+
+	// Upgrades and Downgrades count rate transitions, for tests and
+	// ablation reporting.
+	Upgrades   uint64
+	Downgrades uint64
+}
+
+var _ RateController = (*ARF)(nil)
+
+// NewARF returns an ARF controller starting at the given rate.
+func NewARF(start phy.Rate) *ARF {
+	return &ARF{UpAfter: 10, DownAfter: 2, idx: start.Index()}
+}
+
+// Rate implements RateController.
+func (a *ARF) Rate() phy.Rate { return phy.Rates[a.idx] }
+
+// OnSuccess implements RateController.
+func (a *ARF) OnSuccess() {
+	a.probing = false
+	a.failures = 0
+	a.successes++
+	if a.successes >= a.UpAfter && a.idx < len(phy.Rates)-1 {
+		a.idx++
+		a.successes = 0
+		a.probing = true
+		a.Upgrades++
+	}
+}
+
+// OnFailure implements RateController.
+func (a *ARF) OnFailure() {
+	a.successes = 0
+	if a.probing {
+		// The probe at the higher rate failed: fall back immediately.
+		a.probing = false
+		a.down()
+		return
+	}
+	a.failures++
+	if a.failures >= a.DownAfter {
+		a.failures = 0
+		a.down()
+	}
+}
+
+func (a *ARF) down() {
+	if a.idx > 0 {
+		a.idx--
+		a.Downgrades++
+	}
+}

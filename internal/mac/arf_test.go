@@ -1,0 +1,129 @@
+package mac
+
+import (
+	"testing"
+
+	"adhocsim/internal/phy"
+)
+
+func TestARFUpgradesAfterSuccesses(t *testing.T) {
+	a := NewARF(phy.Rate1)
+	for i := 0; i < 9; i++ {
+		a.OnSuccess()
+	}
+	if a.Rate() != phy.Rate1 {
+		t.Fatalf("rate = %v after 9 successes, want 1Mbps", a.Rate())
+	}
+	a.OnSuccess()
+	if a.Rate() != phy.Rate2 {
+		t.Fatalf("rate = %v after 10 successes, want 2Mbps", a.Rate())
+	}
+	if a.Upgrades != 1 {
+		t.Fatalf("Upgrades = %d, want 1", a.Upgrades)
+	}
+}
+
+func TestARFDowngradesAfterFailures(t *testing.T) {
+	a := NewARF(phy.Rate11)
+	a.OnFailure()
+	if a.Rate() != phy.Rate11 {
+		t.Fatal("one failure must not downgrade")
+	}
+	a.OnFailure()
+	if a.Rate() != phy.Rate5_5 {
+		t.Fatalf("rate = %v after 2 failures, want 5.5Mbps", a.Rate())
+	}
+	if a.Downgrades != 1 {
+		t.Fatalf("Downgrades = %d, want 1", a.Downgrades)
+	}
+}
+
+func TestARFProbeFailureFallsBackImmediately(t *testing.T) {
+	a := NewARF(phy.Rate1)
+	for i := 0; i < 10; i++ {
+		a.OnSuccess()
+	}
+	if a.Rate() != phy.Rate2 {
+		t.Fatalf("rate = %v, want 2Mbps", a.Rate())
+	}
+	// First frame after the upgrade fails: immediate fallback.
+	a.OnFailure()
+	if a.Rate() != phy.Rate1 {
+		t.Fatalf("rate = %v after failed probe, want 1Mbps", a.Rate())
+	}
+}
+
+func TestARFProbeSuccessSticks(t *testing.T) {
+	a := NewARF(phy.Rate1)
+	for i := 0; i < 10; i++ {
+		a.OnSuccess()
+	}
+	a.OnSuccess() // probe succeeds
+	a.OnFailure() // one later failure: no fallback (DownAfter=2)
+	if a.Rate() != phy.Rate2 {
+		t.Fatalf("rate = %v, want 2Mbps to stick", a.Rate())
+	}
+}
+
+func TestARFBounds(t *testing.T) {
+	a := NewARF(phy.Rate1)
+	for i := 0; i < 10; i++ {
+		a.OnFailure()
+	}
+	if a.Rate() != phy.Rate1 {
+		t.Fatal("rate fell below 1Mbps")
+	}
+	b := NewARF(phy.Rate11)
+	for i := 0; i < 100; i++ {
+		b.OnSuccess()
+	}
+	if b.Rate() != phy.Rate11 {
+		t.Fatal("rate rose above 11Mbps")
+	}
+	if b.Upgrades != 0 {
+		t.Fatal("upgrades counted at the top rate")
+	}
+}
+
+func TestARFSuccessResetsFailureStreak(t *testing.T) {
+	a := NewARF(phy.Rate11)
+	a.OnFailure()
+	a.OnSuccess()
+	a.OnFailure()
+	if a.Rate() != phy.Rate11 {
+		t.Fatal("non-consecutive failures must not downgrade")
+	}
+}
+
+func TestARFConvergesOnMediumLink(t *testing.T) {
+	// End-to-end: a link at 60 m supports 5.5 Mbit/s (range 70 m) but
+	// not 11 Mbit/s (range 30 m). ARF must settle around 5.5.
+	arf := NewARF(phy.Rate11)
+	cfg := func(i int) Config {
+		c := Config{DataRate: phy.Rate11}
+		if i == 0 {
+			c.RateControl = arf
+		}
+		return c
+	}
+	tb := newTestbed(t, 9, false, cfg, phy.Pos(0, 0), phy.Pos(60, 0))
+	a, b := tb.stations[0], tb.stations[1]
+	payload := make([]byte, 512)
+	fill := func() {
+		for a.mac.Send(payload, addr(2)) == nil {
+		}
+	}
+	a.mac.OnQueueSpace(fill)
+	fill()
+	tb.sched.RunUntil(500 * 1e6) // 500 ms
+
+	if got := arf.Rate(); got != phy.Rate5_5 {
+		t.Fatalf("ARF settled at %v, want 5.5Mbps", got)
+	}
+	if len(b.delivered) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if arf.Downgrades == 0 {
+		t.Fatal("expected at least one downgrade from 11 Mbit/s")
+	}
+}

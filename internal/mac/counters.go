@@ -1,0 +1,41 @@
+package mac
+
+// Counters aggregates every observable MAC event of one station. The
+// experiment harness and the tests read them; none of the protocol logic
+// does.
+type Counters struct {
+	// Upper-layer interface.
+	MSDUQueued uint64 // MSDUs accepted from the upper layer
+	QueueDrops uint64 // MSDUs rejected because the queue was full
+
+	// Transmit side.
+	DataTx      uint64 // data frame transmissions (including retries)
+	DataRetx    uint64 // data frame retransmissions only
+	RTSTx       uint64
+	CTSTx       uint64
+	ACKTx       uint64
+	BeaconTx    uint64
+	TxSuccess   uint64 // MSDUs completed (ACKed, or broadcast sent)
+	TxDrops     uint64 // MSDUs dropped at the retry limit
+	CTSTimeouts uint64
+	ACKTimeouts uint64
+
+	// Receive side.
+	RxData      uint64 // unicast data addressed to this station
+	RxDup       uint64 // duplicates suppressed (retry with known seq)
+	RxRTS       uint64
+	RxCTS       uint64
+	RxACK       uint64
+	RxBeacon    uint64
+	RxForOthers uint64 // decoded frames addressed elsewhere
+
+	// Channel state.
+	RespSuppressed uint64 // SIFS responses suppressed by the DeferResponses quirk
+
+	PHYErrors     uint64 // locked receptions that failed to decode
+	EIFSDeferrals uint64 // deferrals extended from DIFS to EIFS
+	NAVUpdates    uint64 // virtual carrier sense updates honoured
+}
+
+// Retries returns the total number of retransmission attempts.
+func (c *Counters) Retries() uint64 { return c.DataRetx + c.CTSTimeouts }

@@ -1,0 +1,499 @@
+package mac
+
+import (
+	"time"
+
+	"adhocsim/internal/frame"
+	"adhocsim/internal/phy"
+)
+
+// This file contains the DCF engine: channel-access bookkeeping (physical
+// CCA + NAV + interframe spaces), the backoff procedure, the transmit
+// paths (basic access and RTS/CTS), SIFS-spaced responses, timeouts, and
+// the receive dispatch.
+//
+// Event/timer discipline:
+//
+//   - resumeEv fires when the channel has stayed available for a full
+//     IFS (DIFS, or EIFS after a PHY error); it starts/resumes backoff.
+//   - slotEv ticks one backoff slot; both are cancelled the instant the
+//     channel becomes unavailable (CCA busy or NAV set).
+//   - sifsEv carries SIFS-spaced actions (CTS/ACK responses, the data
+//     frame of an RTS/CTS exchange) and is never cancelled by busy
+//     channel: the standard sends these regardless of carrier state.
+//   - timeoutEv guards stWaitCTS/stWaitACK.
+
+// channel availability ------------------------------------------------
+
+// CCAChanged implements medium.Handler.
+func (m *MAC) CCAChanged(busy bool) {
+	if busy {
+		m.channelBusy()
+	} else {
+		m.maybeAvailable()
+	}
+}
+
+// channelBusy suspends contention the instant the channel stops being
+// available.
+func (m *MAC) channelBusy() {
+	m.available = false
+	m.sched.Cancel(m.resumeEv)
+	m.sched.Cancel(m.slotEv)
+	// A frame that was eligible for immediate access loses that
+	// eligibility the moment the medium turns busy before it got out.
+	if m.current != nil {
+		m.current.needsBackoff = true
+	}
+}
+
+// maybeAvailable re-evaluates availability after CCA went idle or the
+// NAV expired. Availability requires both physical and virtual carrier
+// sense to be clear.
+func (m *MAC) maybeAvailable() {
+	if m.radio.CCABusy() {
+		return
+	}
+	now := m.sched.Now()
+	if m.nav > now {
+		// Virtually busy: wait out the NAV.
+		m.navEv = m.sched.Reschedule(m.navEv, m.nav, m.maybeAvailable)
+		return
+	}
+	m.available = true
+	m.availSince = now
+	m.armResume(now + m.ifs())
+}
+
+// ifs returns the interframe space the station currently owes before
+// resuming contention: EIFS while the most recent reception ended in a
+// PHY error, DIFS otherwise. Per the standard, EIFS persists across
+// busy periods until an error-free frame is received.
+func (m *MAC) ifs() time.Duration {
+	if m.lastRxError && !m.cfg.DisableEIFS {
+		return phy.EIFS()
+	}
+	return phy.DIFS
+}
+
+// setNAV raises the virtual carrier sense until the absolute time t.
+func (m *MAC) setNAV(t time.Duration) {
+	now := m.sched.Now()
+	if t <= m.nav || t <= now {
+		return
+	}
+	m.nav = t
+	m.Counters.NAVUpdates++
+	if m.available {
+		m.channelBusy()
+	}
+	m.navEv = m.sched.Reschedule(m.navEv, m.nav, m.maybeAvailable)
+}
+
+func (m *MAC) armResume(t time.Duration) {
+	m.resumeEv = m.sched.Reschedule(m.resumeEv, t, m.resume)
+}
+
+// scheduleResumeIfAvailable re-arms contention after a wait state ends
+// (success, timeout, drop): if the channel is already available the IFS
+// may be partially or fully elapsed.
+func (m *MAC) scheduleResumeIfAvailable() {
+	if !m.available {
+		return // the next idle edge will arm the resume
+	}
+	now := m.sched.Now()
+	if t := m.availSince + m.ifs(); t > now {
+		m.armResume(t)
+		return
+	}
+	m.resume()
+}
+
+// backoff procedure ----------------------------------------------------
+
+// resume runs when the channel has been available for a full IFS. It
+// draws a backoff if one is needed and starts the slot countdown; frames
+// that arrived on an idle channel transmit without backoff (the
+// standard's immediate-access rule).
+func (m *MAC) resume() {
+	if !m.available || m.radio.Transmitting() {
+		return
+	}
+	if m.slotEv.Pending() {
+		return // countdown already running; don't double-tick
+	}
+	if m.st != stContend && !(m.st == stIdle && m.backoff >= 0) {
+		return // transmitting or waiting for a response: no contention
+	}
+	if m.backoff < 0 {
+		if m.current == nil {
+			return
+		}
+		if !m.current.needsBackoff {
+			m.txAttempt()
+			return
+		}
+		m.backoff = m.rng.Intn(m.cw)
+	}
+	m.tickSlot()
+}
+
+// tickSlot consumes backoff slots while the channel stays available.
+func (m *MAC) tickSlot() {
+	if m.backoff == 0 {
+		m.backoff = -1
+		if m.current != nil {
+			m.txAttempt()
+		}
+		return
+	}
+	m.slotEv = m.sched.After(phy.SlotTime, func() {
+		m.backoff--
+		m.tickSlot()
+	})
+}
+
+// transmit paths -------------------------------------------------------
+
+// usesRTS reports whether pkt is sent under RTS/CTS protection.
+func (m *MAC) usesRTS(pkt *msdu) bool {
+	return !pkt.to.IsGroup() && len(pkt.payload) >= m.cfg.RTSThreshold
+}
+
+// controlRate returns the basic rate used for the control frames that
+// accompany a data frame at the given rate.
+func (m *MAC) controlRate(dataRate phy.Rate) phy.Rate { return phy.ControlRate(dataRate) }
+
+// txAttempt transmits the current MSDU's next frame: the RTS if the
+// handshake is still owed, otherwise the data frame itself.
+func (m *MAC) txAttempt() {
+	pkt := m.current
+	if pkt == nil {
+		return
+	}
+	// The data rate is (re-)selected per attempt so that a rate
+	// controller can adapt retransmissions, as real ARF firmware does.
+	if !pkt.isBeacon {
+		pkt.rate = m.DataRate()
+	}
+	if m.usesRTS(pkt) && !pkt.ctsOK {
+		m.txRTS(pkt)
+		return
+	}
+	m.txData(pkt)
+}
+
+func (m *MAC) txRTS(pkt *msdu) {
+	ctrl := m.controlRate(pkt.rate)
+	dataAir := phy.DataTime(pkt.rate, len(pkt.payload))
+	// Duration covers the rest of the exchange: CTS + DATA + ACK + 3 SIFS.
+	dur := 3*phy.SIFS + phy.CTSTime(ctrl) + dataAir + phy.ACKTime(ctrl)
+	rts := &frame.Frame{
+		Type:     frame.TypeRTS,
+		Addr1:    pkt.to,
+		Addr2:    m.cfg.Address,
+		Duration: dur,
+	}
+	m.st = stTxRTS
+	m.Counters.RTSTx++
+	m.radio.Transmit(rts, ctrl)
+}
+
+func (m *MAC) txData(pkt *msdu) {
+	f := &frame.Frame{
+		Type:    frame.TypeData,
+		Addr1:   pkt.to,
+		Addr2:   m.cfg.Address,
+		Addr3:   m.cfg.BSSID,
+		Seq:     pkt.seq,
+		Retry:   pkt.shortRetry+pkt.longRetry > 0,
+		Payload: pkt.payload,
+	}
+	if pkt.isBeacon {
+		f.Type = frame.TypeBeacon
+		m.Counters.BeaconTx++
+	}
+	if f.NeedsACK() {
+		f.Duration = phy.SIFS + phy.ACKTime(m.controlRate(pkt.rate))
+	}
+	m.st = stTxData
+	m.Counters.DataTx++
+	if f.Retry {
+		m.Counters.DataRetx++
+	}
+	m.radio.Transmit(f, pkt.rate)
+}
+
+// TxDone implements medium.Handler: our frame left the air.
+func (m *MAC) TxDone() {
+	if m.respInFlight {
+		m.respInFlight = false
+		return
+	}
+	switch m.st {
+	case stTxRTS:
+		m.st = stWaitCTS
+		ctrl := m.controlRate(m.current.rate)
+		timeout := phy.SIFS + phy.CTSTime(ctrl) + phy.SlotTime + 2*phy.PropDelay
+		m.timeoutEv = m.sched.Reschedule(m.timeoutEv, m.sched.Now()+timeout, m.ctsTimeout)
+	case stTxData:
+		pkt := m.current
+		if pkt != nil && !pkt.to.IsGroup() {
+			m.st = stWaitACK
+			ctrl := m.controlRate(pkt.rate)
+			timeout := phy.SIFS + phy.ACKTime(ctrl) + phy.SlotTime + 2*phy.PropDelay
+			m.timeoutEv = m.sched.Reschedule(m.timeoutEv, m.sched.Now()+timeout, m.ackTimeout)
+			return
+		}
+		// Broadcast and beacon frames complete without acknowledgement.
+		m.txSuccess()
+	}
+}
+
+// outcome paths ---------------------------------------------------------
+
+func (m *MAC) txSuccess() {
+	if rc := m.cfg.RateControl; rc != nil && !m.current.isBeacon {
+		rc.OnSuccess()
+	}
+	m.Counters.TxSuccess++
+	m.sched.Cancel(m.timeoutEv)
+	m.cw = phy.CWMin
+	m.current = nil
+	m.st = stIdle
+	// Post-transmission backoff (mandatory per the standard); it also
+	// spaces back-to-back frames of a saturated queue, which is the
+	// CWmin/2 term of the paper's Equation (1).
+	m.backoff = m.rng.Intn(m.cw)
+	m.popNext()
+	m.scheduleResumeIfAvailable()
+}
+
+func (m *MAC) ctsTimeout() {
+	m.Counters.CTSTimeouts++
+	m.txFail(true)
+}
+
+func (m *MAC) ackTimeout() {
+	m.Counters.ACKTimeouts++
+	// Failures of unprotected data count against the short retry limit;
+	// RTS-protected data counts against the long limit.
+	m.txFail(!m.usesRTS(m.current))
+}
+
+// txFail handles a failed attempt: double the contention window, bump
+// the appropriate retry counter, drop the MSDU past its limit, and
+// contend again.
+func (m *MAC) txFail(short bool) {
+	pkt := m.current
+	if pkt == nil {
+		return
+	}
+	if rc := m.cfg.RateControl; rc != nil && !pkt.isBeacon {
+		rc.OnFailure()
+	}
+	m.sched.Cancel(m.timeoutEv)
+	if short {
+		pkt.shortRetry++
+	} else {
+		pkt.longRetry++
+	}
+	pkt.ctsOK = false // a retry re-arms RTS protection
+	pkt.needsBackoff = true
+
+	exceeded := pkt.shortRetry > m.cfg.ShortRetryLimit || pkt.longRetry > m.cfg.LongRetryLimit
+	if exceeded {
+		m.Counters.TxDrops++
+		m.current = nil
+		m.st = stIdle
+		m.cw = phy.CWMin
+	} else {
+		m.st = stContend
+		m.cw = min(2*m.cw, phy.CWMax)
+	}
+	m.backoff = m.rng.Intn(m.cw)
+	if m.current == nil {
+		m.popNext()
+	}
+	m.scheduleResumeIfAvailable()
+}
+
+// popNext moves the head of the queue into the transmit pipeline and
+// notifies the upper layer that queue space opened up.
+func (m *MAC) popNext() {
+	if m.current != nil || len(m.queue) == 0 {
+		return
+	}
+	m.current = m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue[len(m.queue)-1] = nil
+	m.queue = m.queue[:len(m.queue)-1]
+	m.current.needsBackoff = true
+	m.st = stContend
+	if m.queueSpace != nil {
+		m.queueSpace()
+	}
+}
+
+// kick starts service for newly queued traffic when the pipeline is
+// idle. A frame that arrives to an idle pipeline on a channel that is
+// already available transmits after the residual DIFS without backoff
+// (immediate access); otherwise it contends normally.
+func (m *MAC) kick() {
+	if m.st != stIdle || m.current != nil || len(m.queue) == 0 {
+		return
+	}
+	immediate := m.backoff < 0 && m.available
+	m.popNext()
+	if !immediate {
+		m.scheduleResumeIfAvailable()
+		return
+	}
+	m.current.needsBackoff = false
+	now := m.sched.Now()
+	if t := m.availSince + m.ifs(); t > now {
+		m.armResume(t)
+		return
+	}
+	m.txAttempt()
+}
+
+// SIFS responses --------------------------------------------------------
+
+// scheduleResponse queues a control response (ACK or CTS) or the data
+// frame of an RTS exchange to be transmitted one SIFS from now,
+// regardless of carrier state, as the standard requires.
+func (m *MAC) scheduleResponse(f *frame.Frame, rate phy.Rate) {
+	m.pendingResp, m.respRate = f, rate
+	m.sifsEv = m.sched.Reschedule(m.sifsEv, m.sched.Now()+phy.SIFS, func() {
+		resp := m.pendingResp
+		m.pendingResp = nil
+		if resp == nil || m.radio.Transmitting() {
+			return
+		}
+		if m.cfg.DeferResponses && (m.radio.CCABusy() || m.nav > m.sched.Now()) {
+			m.Counters.RespSuppressed++
+			return
+		}
+		m.respInFlight = true
+		switch resp.Type {
+		case frame.TypeACK:
+			m.Counters.ACKTx++
+		case frame.TypeCTS:
+			m.Counters.CTSTx++
+		}
+		m.radio.Transmit(resp, rate)
+	})
+}
+
+// receive dispatch -------------------------------------------------------
+
+// RxEnd implements medium.Handler: a locked reception finished.
+func (m *MAC) RxEnd(f *frame.Frame, rate phy.Rate, rssiDBm float64, ok bool) {
+	if !ok {
+		m.phyError()
+		return
+	}
+	// An error-free reception terminates any standing EIFS obligation.
+	m.lastRxError = false
+	now := m.sched.Now()
+	if f.Addr1 != m.cfg.Address {
+		// Third party traffic: honour its channel reservation.
+		if f.Duration > 0 {
+			m.setNAV(now + f.Duration)
+		}
+		switch f.Type {
+		case frame.TypeBeacon:
+			m.Counters.RxBeacon++
+			if m.beaconSeen != nil {
+				m.beaconSeen(f.Addr2)
+			}
+			if f.Addr1.IsBroadcast() {
+				return
+			}
+		case frame.TypeData:
+			if f.Addr1.IsBroadcast() {
+				m.deliverUp(f)
+				return
+			}
+		}
+		m.Counters.RxForOthers++
+		return
+	}
+
+	switch f.Type {
+	case frame.TypeData:
+		m.Counters.RxData++
+		ack := &frame.Frame{Type: frame.TypeACK, Addr1: f.Addr2}
+		m.scheduleResponse(ack, m.controlRate(rate))
+		m.deliverUp(f)
+	case frame.TypeRTS:
+		m.Counters.RxRTS++
+		// Respond only if our NAV is idle (standard rule): otherwise the
+		// requesting station's exchange would collide with a reservation
+		// we have already honoured.
+		if m.nav <= now {
+			cts := &frame.Frame{
+				Type:     frame.TypeCTS,
+				Addr1:    f.Addr2,
+				Duration: f.Duration - phy.CTSTime(rate) - phy.SIFS,
+			}
+			m.scheduleResponse(cts, rate)
+		}
+	case frame.TypeCTS:
+		m.Counters.RxCTS++
+		if m.st == stWaitCTS {
+			m.sched.Cancel(m.timeoutEv)
+			m.current.ctsOK = true
+			m.st = stSIFSData
+			m.sifsEv = m.sched.Reschedule(m.sifsEv, now+phy.SIFS, func() {
+				if m.radio.Transmitting() {
+					return
+				}
+				m.txAttempt()
+			})
+		}
+	case frame.TypeACK:
+		m.Counters.RxACK++
+		if m.st == stWaitACK {
+			m.txSuccess()
+		}
+	}
+}
+
+// phyError handles a locked-but-undecodable reception: the MAC must
+// defer by EIFS instead of DIFS before resuming contention. EIFS is the
+// mechanism that penalizes stations which can hear a session's data
+// frames but not decode its (basic-rate) control frames — central to the
+// paper's four-node asymmetries.
+func (m *MAC) phyError() {
+	m.Counters.PHYErrors++
+	if m.cfg.DisableEIFS {
+		return // ablation: treat the error as plain energy (DIFS rules)
+	}
+	m.Counters.EIFSDeferrals++
+	m.lastRxError = true
+	if !m.available {
+		return
+	}
+	// Restart the deferral from the error: the station owes a full EIFS
+	// of continuous availability before contending again.
+	m.availSince = m.sched.Now()
+	m.armResume(m.availSince + m.ifs())
+}
+
+// deliverUp hands a received MSDU to the upper layer, suppressing
+// duplicates created by lost ACKs (same source and sequence with the
+// retry flag set).
+func (m *MAC) deliverUp(f *frame.Frame) {
+	src := f.Addr2
+	if f.Retry && m.rxSeqV[src] && m.rxSeq[src] == f.Seq {
+		m.Counters.RxDup++
+		return
+	}
+	m.rxSeq[src] = f.Seq
+	m.rxSeqV[src] = true
+	if m.deliver != nil {
+		m.deliver(f.Payload, src)
+	}
+}

@@ -1,0 +1,317 @@
+// Package mac implements the IEEE 802.11 Distributed Coordination
+// Function (DCF): CSMA/CA channel access with binary exponential backoff,
+// virtual carrier sense (NAV), the optional RTS/CTS exchange, MAC-level
+// acknowledgements and retransmissions, and EIFS deferral after PHY
+// reception errors.
+//
+// Timing constants follow Table 1 of Anastasi et al. (ICDCSW'03):
+// SlotTime 20 µs, SIFS 10 µs, DIFS 50 µs, CW 32–1024 slots, long PLCP.
+// Control frames (RTS/CTS/ACK) are transmitted at basic rates (1 or
+// 2 Mbit/s) while data frames use the configured NIC rate — the rate
+// split whose consequences the paper investigates.
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adhocsim/internal/frame"
+	"adhocsim/internal/medium"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/sim"
+)
+
+// RTS threshold sentinels.
+const (
+	// RTSAlways enables RTS/CTS protection for every unicast data frame.
+	RTSAlways = 0
+	// RTSNever disables RTS/CTS entirely (the basic access scheme).
+	RTSNever = 1 << 30
+)
+
+// MaxMSDU is the largest MSDU accepted from the upper layer, per the
+// 802.11 MSDU size limit.
+const MaxMSDU = 2304
+
+// Config parameterizes one station's MAC.
+type Config struct {
+	// Address is this station's MAC address. Required.
+	Address frame.Addr
+	// BSSID identifies the ad hoc network (IBSS). All stations in one
+	// experiment share it. Defaults to a fixed IBSS id.
+	BSSID frame.Addr
+	// DataRate is the NIC rate for unicast data frames. Defaults to 11
+	// Mbit/s. Ignored per-frame when RateControl is set.
+	DataRate phy.Rate
+	// RTSThreshold: unicast MSDUs of at least this many bytes are
+	// protected by RTS/CTS. Use RTSAlways or RTSNever for the paper's
+	// two access modes. Defaults to RTSNever.
+	RTSThreshold int
+	// ShortRetryLimit bounds attempts for frames without RTS protection
+	// and for the RTS itself (aShortRetryLimit, default 7).
+	ShortRetryLimit int
+	// LongRetryLimit bounds attempts for RTS-protected data frames
+	// (aLongRetryLimit, default 4).
+	LongRetryLimit int
+	// QueueCap bounds the MSDU transmit queue (default 50).
+	QueueCap int
+	// BeaconInterval enables IBSS beaconing when positive. Beacons are
+	// broadcast at 1 Mbit/s and contend like normal traffic.
+	BeaconInterval time.Duration
+	// RateControl, when non-nil, selects the data rate per MSDU and
+	// observes transmission outcomes (e.g. ARF). When nil the MAC uses
+	// the fixed DataRate, as the paper's experiments do.
+	RateControl RateController
+	// DisableEIFS is an ablation switch: PHY errors defer by plain DIFS
+	// instead of EIFS. The four-node asymmetry benches use it to isolate
+	// how much of the unfairness the EIFS rule contributes. Default
+	// false (standard behaviour).
+	DisableEIFS bool
+	// DeferResponses reproduces a testbed firmware quirk the paper's
+	// §3.3 describes: the NIC carrier-senses before SIFS responses, so
+	// an exposed receiver "is not able to send back the MAC ACK" while
+	// it senses the other session, and the sender "reacts as in the
+	// collision cases". Standard 802.11 sends SIFS responses regardless;
+	// default false.
+	DeferResponses bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BSSID == (frame.Addr{}) {
+		c.BSSID = frame.Addr{0x02, 0xad, 0x60, 0xc0, 0x00, 0x01}
+	}
+	if c.DataRate == 0 {
+		c.DataRate = phy.Rate11
+	}
+	if !c.DataRate.Valid() {
+		panic(fmt.Sprintf("mac: invalid data rate %d", c.DataRate))
+	}
+	if c.RTSThreshold == 0 {
+		// The zero value means "unset"; explicit RTSAlways is also 0, so
+		// experiments wanting RTS-on-everything set RTSThreshold: 1.
+		// Keeping zero-value == paper's default (basic access).
+		c.RTSThreshold = RTSNever
+	}
+	// Zero means "unset" (standard defaults); negative disables retries
+	// entirely, which the range-probing sweeps use.
+	if c.ShortRetryLimit == 0 {
+		c.ShortRetryLimit = 7
+	} else if c.ShortRetryLimit < 0 {
+		c.ShortRetryLimit = 0
+	}
+	if c.LongRetryLimit == 0 {
+		c.LongRetryLimit = 4
+	} else if c.LongRetryLimit < 0 {
+		c.LongRetryLimit = 0
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 50
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Send when the transmit queue is at
+// capacity; the upper layer should retry after the QueueSpace callback.
+var ErrQueueFull = errors.New("mac: transmit queue full")
+
+// ErrTooLarge is returned by Send for MSDUs above MaxMSDU.
+var ErrTooLarge = errors.New("mac: MSDU exceeds 2304 bytes")
+
+// state is the DCF transmit-path state.
+type state uint8
+
+const (
+	stIdle     state = iota // no transmit operation in progress
+	stContend               // waiting for IFS/backoff before transmitting
+	stTxRTS                 // RTS on the air
+	stWaitCTS               // awaiting CTS
+	stTxData                // data frame on the air
+	stWaitACK               // awaiting ACK
+	stSIFSData              // CTS received; data frame due one SIFS later
+)
+
+func (s state) String() string {
+	switch s {
+	case stIdle:
+		return "idle"
+	case stContend:
+		return "contend"
+	case stTxRTS:
+		return "tx-rts"
+	case stWaitCTS:
+		return "wait-cts"
+	case stTxData:
+		return "tx-data"
+	case stWaitACK:
+		return "wait-ack"
+	case stSIFSData:
+		return "sifs-data"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// msdu is one queued upper-layer packet plus its transmission state.
+type msdu struct {
+	payload    []byte
+	to         frame.Addr
+	seq        uint16
+	rate       phy.Rate // data rate chosen for this MSDU
+	shortRetry int
+	longRetry  int
+	ctsOK      bool // RTS/CTS handshake completed
+	isBeacon   bool
+	// needsBackoff is false only for frames eligible for the standard's
+	// immediate-access rule (arrived to an idle pipeline on an idle
+	// channel); every retry and every queued frame backs off.
+	needsBackoff bool
+}
+
+// MAC is one station's DCF instance. Create with New, attach to a medium
+// with Attach, then exchange MSDUs via Send and the Deliver callback.
+type MAC struct {
+	cfg   Config
+	sched *sim.Scheduler
+	radio *medium.Radio
+	rng   *rand.Rand
+
+	// Upper-layer hooks.
+	deliver    func(payload []byte, src frame.Addr)
+	queueSpace func()
+	beaconSeen func(src frame.Addr)
+
+	queue   []*msdu
+	current *msdu
+	st      state
+
+	cw      int // current contention window (slots)
+	backoff int // remaining backoff slots; -1 = not drawn
+
+	nav         time.Duration // virtual carrier sense expiry (absolute)
+	available   bool          // channel available (CCA idle && NAV expired)
+	availSince  time.Duration
+	lastRxError bool // most recent reception ended in a PHY error (EIFS owed)
+
+	resumeEv  *sim.Event // fires when IFS after idle has elapsed
+	slotEv    *sim.Event // next backoff slot tick
+	navEv     *sim.Event // NAV expiry
+	timeoutEv *sim.Event // CTS/ACK timeout
+	sifsEv    *sim.Event // pending SIFS response
+	beaconEv  *sim.Event // next beacon
+
+	pendingResp  *frame.Frame
+	respRate     phy.Rate
+	respInFlight bool
+
+	seq    uint16
+	rxSeq  map[frame.Addr]uint16 // last delivered sequence per source
+	rxSeqV map[frame.Addr]bool
+
+	Counters Counters
+}
+
+// Verify the MAC satisfies the medium's PHY indication interface.
+var _ medium.Handler = (*MAC)(nil)
+
+// New creates a MAC. Call Attach before use.
+func New(sched *sim.Scheduler, src *sim.Source, cfg Config) *MAC {
+	cfg = cfg.withDefaults()
+	m := &MAC{
+		cfg:     cfg,
+		sched:   sched,
+		rng:     src.Stream("mac.backoff." + cfg.Address.String()),
+		cw:      phy.CWMin,
+		backoff: -1,
+		rxSeq:   make(map[frame.Addr]uint16),
+		rxSeqV:  make(map[frame.Addr]bool),
+	}
+	return m
+}
+
+// Attach binds the MAC to its radio. The radio must have been created
+// with this MAC as its handler. Channel state is initialized from the
+// radio and beaconing starts (if configured).
+func (m *MAC) Attach(r *medium.Radio) {
+	if m.radio != nil {
+		panic("mac: Attach called twice")
+	}
+	m.radio = r
+	m.available = !r.CCABusy()
+	m.availSince = m.sched.Now()
+	if m.cfg.BeaconInterval > 0 {
+		m.scheduleBeacon()
+	}
+}
+
+// Address returns the station's MAC address.
+func (m *MAC) Address() frame.Addr { return m.cfg.Address }
+
+// DataRate returns the rate the next data MSDU would use.
+func (m *MAC) DataRate() phy.Rate {
+	if m.cfg.RateControl != nil {
+		return m.cfg.RateControl.Rate()
+	}
+	return m.cfg.DataRate
+}
+
+// QueueLen returns the number of queued MSDUs (excluding any in flight).
+func (m *MAC) QueueLen() int { return len(m.queue) }
+
+// QueueCap returns the transmit queue capacity.
+func (m *MAC) QueueCap() int { return m.cfg.QueueCap }
+
+// OnDeliver registers the upper-layer receive callback.
+func (m *MAC) OnDeliver(fn func(payload []byte, src frame.Addr)) { m.deliver = fn }
+
+// OnQueueSpace registers a callback invoked whenever queue space becomes
+// available, for saturating sources that keep the MAC busy.
+func (m *MAC) OnQueueSpace(fn func()) { m.queueSpace = fn }
+
+// OnBeacon registers a callback invoked when a beacon is received.
+func (m *MAC) OnBeacon(fn func(src frame.Addr)) { m.beaconSeen = fn }
+
+// Send queues one MSDU for transmission to the given address (which may
+// be frame.Broadcast). It returns ErrQueueFull when the queue is at
+// capacity and ErrTooLarge for oversized MSDUs.
+func (m *MAC) Send(payload []byte, to frame.Addr) error {
+	if len(payload) > MaxMSDU {
+		return ErrTooLarge
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.Counters.QueueDrops++
+		return ErrQueueFull
+	}
+	pkt := &msdu{payload: payload, to: to, seq: m.nextSeq(), rate: m.DataRate()}
+	m.queue = append(m.queue, pkt)
+	m.Counters.MSDUQueued++
+	m.kick()
+	return nil
+}
+
+func (m *MAC) nextSeq() uint16 {
+	m.seq = (m.seq + 1) & 0x0fff
+	return m.seq
+}
+
+// scheduleBeacon arms the next beacon. Beacons are queued at the head of
+// the transmit queue and broadcast at 1 Mbit/s. Per the IBSS beacon
+// generation rules, each station adds a random delay after the target
+// beacon time so that stations sharing a TBTT do not collide forever.
+func (m *MAC) scheduleBeacon() {
+	jitter := time.Duration(m.rng.Intn(2*phy.CWMin)) * phy.SlotTime
+	m.beaconEv = m.sched.After(m.cfg.BeaconInterval+jitter, func() {
+		b := &msdu{
+			payload:  make([]byte, 40), // timestamp+interval+capability+IBSS params
+			to:       frame.Broadcast,
+			seq:      m.nextSeq(),
+			rate:     phy.Rate1,
+			isBeacon: true,
+		}
+		if len(m.queue) < m.cfg.QueueCap {
+			m.queue = append([]*msdu{b}, m.queue...)
+			m.kick()
+		}
+		m.scheduleBeacon()
+	})
+}

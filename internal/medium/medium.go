@@ -1,0 +1,330 @@
+// Package medium simulates the shared wireless channel: it propagates
+// every transmission to every radio, maintains per-receiver energy
+// bookkeeping for physical carrier sense (CCA), decides which frames are
+// decodable under cumulative co-channel interference (SINR), and models
+// preamble locking with power capture.
+//
+// The medium is where the paper's three ranges become emergent behaviour
+// rather than configured constants:
+//
+//   - TX_range: a frame decodes only if its received power clears the
+//     per-rate sensitivity and SINR requirement (shorter for faster rates).
+//   - PCS_range: CCA reports busy whenever total received energy exceeds
+//     the energy-detect threshold, far below decode sensitivity.
+//   - IF_range: a transmission too weak to decode still raises the
+//     interference floor at distant receivers and can corrupt their
+//     receptions.
+package medium
+
+import (
+	"fmt"
+	"time"
+
+	"adhocsim/internal/frame"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/sim"
+)
+
+// Handler receives PHY indications. It is implemented by the MAC.
+// Callbacks are invoked synchronously from the event loop.
+type Handler interface {
+	// CCAChanged reports physical carrier sense edges: busy=true when the
+	// medium becomes busy at this radio, false when it returns to idle.
+	CCAChanged(busy bool)
+
+	// RxEnd reports the end of a locked reception. ok=true delivers a
+	// decoded frame; ok=false is a PHY reception error (the receiver
+	// locked onto a preamble but could not decode the body — FCS error),
+	// which must trigger EIFS at the MAC. f is non-nil in both cases.
+	RxEnd(f *frame.Frame, rate phy.Rate, rssiDBm float64, ok bool)
+
+	// TxDone reports that this radio's own transmission left the air.
+	TxDone()
+}
+
+// Medium is the shared broadcast channel connecting a set of radios.
+type Medium struct {
+	sched *sim.Scheduler
+	src   *sim.Source
+
+	radios []*Radio
+
+	// Counters (aggregate, for experiments and tests).
+	Transmissions uint64
+	Deliveries    uint64
+	PHYErrors     uint64
+}
+
+// New returns an empty medium driven by sched, drawing fading values
+// from src.
+func New(sched *sim.Scheduler, src *sim.Source) *Medium {
+	return &Medium{sched: sched, src: src}
+}
+
+// Now returns the current simulated time.
+func (m *Medium) Now() time.Duration { return m.sched.Now() }
+
+// radioState tracks what a radio's receive chain is doing.
+type radioState uint8
+
+const (
+	stateListen radioState = iota
+	stateTransmit
+)
+
+// Radio is one station's PHY attachment to the medium.
+type Radio struct {
+	id      uint32
+	m       *Medium
+	pos     phy.Position
+	profile *phy.Profile
+	handler Handler
+
+	state radioState
+
+	// arrivals maps every in-flight transmission overlapping this radio
+	// to its received power in dBm (fixed at arrival time, one fading
+	// epoch per frame).
+	arrivals map[*transmission]float64
+
+	// locked is the transmission the receive chain is synchronized to.
+	locked       *transmission
+	lockedPower  float64 // dBm
+	maxInterfMW  float64 // worst cumulative interference during the lock
+	ccaBusy      bool
+	txEndPending *sim.Event
+
+	// Counters.
+	FramesSent      uint64
+	FramesDecoded   uint64
+	FramesErrored   uint64 // locked but failed decode (→ EIFS at MAC)
+	FramesMissed    uint64 // arrived while busy or below preamble detect
+	CaptureSwitches uint64
+}
+
+// transmission is one frame in flight.
+type transmission struct {
+	from *Radio
+	f    *frame.Frame
+	rate phy.Rate
+	end  time.Duration
+}
+
+// AddRadio attaches a radio at pos with the given profile and handler.
+// The id must be unique; it keys the fading process.
+func (m *Medium) AddRadio(id uint32, pos phy.Position, profile *phy.Profile, h Handler) *Radio {
+	for _, r := range m.radios {
+		if r.id == id {
+			panic(fmt.Sprintf("medium: duplicate radio id %d", id))
+		}
+	}
+	r := &Radio{
+		id:       id,
+		m:        m,
+		pos:      pos,
+		profile:  profile,
+		handler:  h,
+		arrivals: make(map[*transmission]float64),
+	}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// ID returns the radio identifier.
+func (r *Radio) ID() uint32 { return r.id }
+
+// Pos returns the radio's current position.
+func (r *Radio) Pos() phy.Position { return r.pos }
+
+// SetPos moves the radio (mobility support). Takes effect for
+// transmissions that begin after the move.
+func (r *Radio) SetPos(p phy.Position) { r.pos = p }
+
+// Profile returns the radio's PHY profile.
+func (r *Radio) Profile() *phy.Profile { return r.profile }
+
+// CCABusy reports the current physical-carrier-sense state.
+func (r *Radio) CCABusy() bool { return r.ccaBusy }
+
+// Transmitting reports whether the radio is currently transmitting.
+func (r *Radio) Transmitting() bool { return r.state == stateTransmit }
+
+// Transmit puts f on the air at the given rate and returns its airtime.
+// The radio's receive chain is disabled for the duration (half-duplex);
+// any reception in progress is abandoned. TxDone fires when the frame
+// leaves the air.
+func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
+	if r.state == stateTransmit {
+		panic("medium: Transmit while already transmitting")
+	}
+	if !rate.Valid() {
+		panic(fmt.Sprintf("medium: invalid rate %d", rate))
+	}
+	now := r.m.sched.Now()
+	air := f.AirTime(rate)
+	r.m.Transmissions++
+	r.FramesSent++
+
+	// Half-duplex: abandon any lock; the abandoned frame still occupies
+	// the arrivals set (it remains energy in the air).
+	r.locked = nil
+	r.maxInterfMW = 0
+	r.state = stateTransmit
+	r.updateCCA()
+
+	tx := &transmission{from: r, f: f, rate: rate, end: now + air}
+	for _, rx := range r.m.radios {
+		if rx == r {
+			continue
+		}
+		rx := rx
+		d := phy.Dist(r.pos, rx.pos)
+		p := r.profile.RxPowerDBm(r.m.src, uint64(r.id), uint64(rx.id), d, now)
+		r.m.sched.At(now+phy.PropDelay, func() { rx.arrivalStart(tx, p) })
+		r.m.sched.At(now+air+phy.PropDelay, func() { rx.arrivalEnd(tx) })
+	}
+	r.txEndPending = r.m.sched.At(now+air, func() {
+		r.state = stateListen
+		r.txEndPending = nil
+		r.updateCCA()
+		r.handler.TxDone()
+	})
+	return air
+}
+
+// DebugArrival, when set, observes every arrival edge (test hook).
+var DebugArrival func(rx uint32, from uint32, powerDBm float64, state string)
+
+// arrivalStart handles the leading edge of a transmission reaching this
+// radio.
+func (r *Radio) arrivalStart(tx *transmission, powerDBm float64) {
+	r.arrivals[tx] = powerDBm
+	prof := r.profile
+	if DebugArrival != nil {
+		st := "listen-unlocked"
+		if r.state == stateTransmit {
+			st = "transmitting"
+		} else if r.locked != nil {
+			st = "locked"
+		}
+		DebugArrival(r.id, tx.from.id, powerDBm, st)
+	}
+
+	switch {
+	case r.state == stateTransmit:
+		// Half-duplex: cannot hear anything while transmitting.
+		r.FramesMissed++
+	case powerDBm < prof.PLCPDetectDBm:
+		// Too weak to synchronize: pure energy/interference.
+		r.FramesMissed++
+	case r.locked == nil:
+		// Preamble must clear the interference floor to synchronize.
+		if powerDBm >= r.interferenceFloorDBm(tx)+prof.SINRRequiredDB[phy.Rate1.Index()] {
+			r.lock(tx, powerDBm)
+		} else {
+			r.FramesMissed++
+		}
+	case powerDBm >= r.lockedPower+prof.CaptureMarginDB:
+		// Message-in-message capture: a much stronger newcomer steals
+		// the receiver; the previous frame is lost.
+		r.CaptureSwitches++
+		r.FramesMissed++ // the abandoned frame
+		r.lock(tx, powerDBm)
+	default:
+		r.FramesMissed++
+	}
+
+	if r.locked != nil && r.locked != tx {
+		// Newcomer interferes with the locked frame.
+		r.noteInterference()
+	}
+	r.updateCCA()
+}
+
+func (r *Radio) lock(tx *transmission, powerDBm float64) {
+	r.locked = tx
+	r.lockedPower = powerDBm
+	r.maxInterfMW = 0
+	r.noteInterference()
+}
+
+// noteInterference records the current cumulative interference against
+// the locked frame. The decode verdict uses the worst value seen during
+// the whole reception.
+func (r *Radio) noteInterference() {
+	var mw float64
+	for tx, p := range r.arrivals {
+		if tx != r.locked {
+			mw += phy.DBmToMilliwatt(p)
+		}
+	}
+	if mw > r.maxInterfMW {
+		r.maxInterfMW = mw
+	}
+}
+
+// interferenceFloorDBm returns noise + all arrivals except tx, in dBm.
+func (r *Radio) interferenceFloorDBm(except *transmission) float64 {
+	mw := phy.DBmToMilliwatt(r.profile.NoiseFloorDBm)
+	for tx, p := range r.arrivals {
+		if tx != except {
+			mw += phy.DBmToMilliwatt(p)
+		}
+	}
+	return phy.MilliwattToDBm(mw)
+}
+
+// arrivalEnd handles the trailing edge of a transmission at this radio.
+func (r *Radio) arrivalEnd(tx *transmission) {
+	delete(r.arrivals, tx)
+	if r.locked == tx {
+		r.locked = nil
+		ok := r.verdict(tx)
+		if ok {
+			r.FramesDecoded++
+			r.m.Deliveries++
+		} else {
+			r.FramesErrored++
+			r.m.PHYErrors++
+		}
+		power := r.lockedPower
+		r.maxInterfMW = 0
+		r.updateCCA()
+		r.handler.RxEnd(tx.f, tx.rate, power, ok)
+		return
+	}
+	r.updateCCA()
+}
+
+// verdict decides whether the locked frame decoded successfully: power
+// above the rate's sensitivity, and SINR above the rate's requirement
+// against the worst noise+interference seen during the reception.
+func (r *Radio) verdict(tx *transmission) bool {
+	prof := r.profile
+	idx := tx.rate.Index()
+	if r.lockedPower < prof.SensitivityDBm[idx] {
+		return false
+	}
+	floorMW := phy.DBmToMilliwatt(prof.NoiseFloorDBm) + r.maxInterfMW
+	sinr := r.lockedPower - phy.MilliwattToDBm(floorMW)
+	return sinr >= prof.SINRRequiredDB[idx]
+}
+
+// updateCCA recomputes physical carrier sense and reports edges.
+// The medium is busy at this radio when it is transmitting, when its
+// receive chain is locked, or when total in-air energy exceeds the
+// energy-detect threshold.
+func (r *Radio) updateCCA() {
+	busy := r.state == stateTransmit || r.locked != nil
+	if !busy {
+		var mw float64
+		for _, p := range r.arrivals {
+			mw += phy.DBmToMilliwatt(p)
+		}
+		busy = mw >= phy.DBmToMilliwatt(r.profile.CCAThresholdDBm)
+	}
+	if busy != r.ccaBusy {
+		r.ccaBusy = busy
+		r.handler.CCAChanged(busy)
+	}
+}

@@ -1,0 +1,251 @@
+// Package network implements a minimal IPv4-like network layer on top of
+// the 802.11 MAC: 20-byte headers, protocol demultiplexing, a static
+// neighbor (ARP) table, TTL-guarded forwarding with static routes (so the
+// library is multi-hop ready, although the paper's experiments are
+// single-hop), and link-layer broadcast.
+//
+// The 20-byte header is carried inside the MAC payload so that frame
+// airtimes include the same per-packet network overhead as the paper's
+// testbed (Figure 1's encapsulation stack).
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"adhocsim/internal/frame"
+	"adhocsim/internal/mac"
+)
+
+// Addr is an IPv4-style address.
+type Addr uint32
+
+// Broadcast is the all-stations address.
+const Broadcast Addr = 0xffffffff
+
+// AddrFrom builds an address from dotted-quad components.
+func AddrFrom(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// HostAddr returns the conventional simulation address 10.0.0.n.
+func HostAddr(n byte) Addr { return AddrFrom(10, 0, 0, n) }
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Protocol identifies the payload's transport protocol, using the IANA
+// numbers.
+type Protocol uint8
+
+// Transport protocols carried by this stack.
+const (
+	ProtoTCP Protocol = 6
+	ProtoUDP Protocol = 17
+)
+
+// HeaderBytes is the network header size: the same 20 bytes as IPv4,
+// which the paper's throughput model charges per packet.
+const HeaderBytes = 20
+
+// DefaultTTL is the initial hop budget of locally originated packets.
+const DefaultTTL = 16
+
+// Header is the network-layer header.
+type Header struct {
+	Src, Dst Addr
+	Proto    Protocol
+	TTL      uint8
+	Length   uint16 // header + payload, bytes
+}
+
+// Common codec errors.
+var (
+	ErrShortPacket = errors.New("network: packet shorter than header")
+	ErrBadChecksum = errors.New("network: header checksum mismatch")
+	ErrBadLength   = errors.New("network: length field mismatch")
+	ErrNoNeighbor  = errors.New("network: no link-layer mapping for next hop")
+	ErrNoRoute     = errors.New("network: no route to destination")
+	ErrTTLExceeded = errors.New("network: TTL exceeded")
+)
+
+// EncodeHeader marshals h into a 20-byte header prepended to payload.
+func EncodeHeader(h Header, payload []byte) []byte {
+	buf := make([]byte, HeaderBytes+len(payload))
+	buf[0] = 0x45 // version 4, IHL 5 — fixed, for the looks of a pcap
+	binary.BigEndian.PutUint16(buf[2:4], h.Length)
+	buf[8] = h.TTL
+	buf[9] = byte(h.Proto)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(h.Src))
+	binary.BigEndian.PutUint32(buf[16:20], uint32(h.Dst))
+	binary.BigEndian.PutUint16(buf[10:12], checksum(buf[:HeaderBytes]))
+	copy(buf[HeaderBytes:], payload)
+	return buf
+}
+
+// DecodeHeader unmarshals a packet, returning the header and payload.
+func DecodeHeader(pkt []byte) (Header, []byte, error) {
+	if len(pkt) < HeaderBytes {
+		return Header{}, nil, ErrShortPacket
+	}
+	want := binary.BigEndian.Uint16(pkt[10:12])
+	if checksum(pkt[:HeaderBytes]) != want {
+		return Header{}, nil, ErrBadChecksum
+	}
+	h := Header{
+		Src:    Addr(binary.BigEndian.Uint32(pkt[12:16])),
+		Dst:    Addr(binary.BigEndian.Uint32(pkt[16:20])),
+		Proto:  Protocol(pkt[9]),
+		TTL:    pkt[8],
+		Length: binary.BigEndian.Uint16(pkt[2:4]),
+	}
+	if int(h.Length) != len(pkt) {
+		return Header{}, nil, ErrBadLength
+	}
+	return h, pkt[HeaderBytes:], nil
+}
+
+// checksum is the RFC 1071 ones-complement sum over the header with the
+// checksum field zeroed.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		if i == 10 {
+			continue // checksum field treated as zero
+		}
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Handler receives demultiplexed transport payloads.
+type Handler func(payload []byte, src, dst Addr)
+
+// Stack is one station's network layer.
+type Stack struct {
+	addr Addr
+	mac  *mac.MAC
+
+	neighbors map[Addr]frame.Addr // IP → MAC of directly reachable stations
+	routes    map[Addr]Addr       // destination → next hop (for multi-hop)
+	handlers  map[Protocol]Handler
+	space     []func() // transmit-queue space subscribers
+
+	Forwarding bool // enable packet forwarding (off by default)
+
+	// Counters.
+	Sent, Received, Forwarded, Dropped uint64
+}
+
+// NewStack binds a network layer to a MAC. The MAC's delivery and
+// queue-space callbacks are taken over by the stack; transports register
+// through Stack.Handle and Stack.OnQueueSpace instead.
+func NewStack(m *mac.MAC, addr Addr) *Stack {
+	s := &Stack{
+		addr:      addr,
+		mac:       m,
+		neighbors: make(map[Addr]frame.Addr),
+		routes:    make(map[Addr]Addr),
+		handlers:  make(map[Protocol]Handler),
+	}
+	m.OnDeliver(s.receive)
+	m.OnQueueSpace(func() {
+		for _, fn := range s.space {
+			fn()
+		}
+	})
+	return s
+}
+
+// Addr returns the stack's own address.
+func (s *Stack) Addr() Addr { return s.addr }
+
+// MAC returns the underlying MAC (for counters in experiments).
+func (s *Stack) MAC() *mac.MAC { return s.mac }
+
+// AddNeighbor installs a static IP→MAC mapping (the testbed equivalent
+// of a pre-populated ARP cache).
+func (s *Stack) AddNeighbor(ip Addr, hw frame.Addr) { s.neighbors[ip] = hw }
+
+// AddRoute installs a static route: packets for dst go via nextHop,
+// which must itself be a neighbor.
+func (s *Stack) AddRoute(dst, nextHop Addr) { s.routes[dst] = nextHop }
+
+// Handle registers the receiver for a transport protocol.
+func (s *Stack) Handle(p Protocol, h Handler) { s.handlers[p] = h }
+
+// OnQueueSpace subscribes to transmit-queue space notifications, used by
+// transports for backpressure.
+func (s *Stack) OnQueueSpace(fn func()) { s.space = append(s.space, fn) }
+
+// QueueFree reports how many MSDUs the MAC queue can still take.
+func (s *Stack) QueueFree() int { return s.mac.QueueCap() - s.mac.QueueLen() }
+
+// Send transmits a transport payload to dst. Broadcast packets map to
+// link-layer broadcast; unicast packets resolve dst (or its route's next
+// hop) through the neighbor table.
+func (s *Stack) Send(p Protocol, payload []byte, dst Addr) error {
+	return s.send(Header{
+		Src:   s.addr,
+		Dst:   dst,
+		Proto: p,
+		TTL:   DefaultTTL,
+	}, payload)
+}
+
+func (s *Stack) send(h Header, payload []byte) error {
+	h.Length = uint16(HeaderBytes + len(payload))
+	var hw frame.Addr
+	if h.Dst == Broadcast {
+		hw = frame.Broadcast
+	} else {
+		next := h.Dst
+		if via, ok := s.routes[h.Dst]; ok {
+			next = via
+		}
+		var ok bool
+		if hw, ok = s.neighbors[next]; !ok {
+			s.Dropped++
+			return fmt.Errorf("%w: %v", ErrNoNeighbor, next)
+		}
+	}
+	if err := s.mac.Send(EncodeHeader(h, payload), hw); err != nil {
+		s.Dropped++
+		return fmt.Errorf("network: %w", err)
+	}
+	s.Sent++
+	return nil
+}
+
+// receive handles an MSDU delivered by the MAC.
+func (s *Stack) receive(msdu []byte, from frame.Addr) {
+	h, payload, err := DecodeHeader(msdu)
+	if err != nil {
+		s.Dropped++
+		return
+	}
+	if h.Dst == s.addr || h.Dst == Broadcast {
+		s.Received++
+		if fn := s.handlers[h.Proto]; fn != nil {
+			fn(payload, h.Src, h.Dst)
+		}
+		return
+	}
+	if !s.Forwarding {
+		s.Dropped++
+		return
+	}
+	if h.TTL <= 1 {
+		s.Dropped++
+		return
+	}
+	h.TTL--
+	if err := s.send(h, payload); err == nil {
+		s.Forwarded++
+	}
+}

@@ -1,0 +1,101 @@
+package node
+
+import (
+	"time"
+
+	"adhocsim/internal/phy"
+)
+
+// Mobility support. The paper's experiments are static, but its §3.2
+// points out the consequence of short transmission ranges for mobile
+// networks: "the shorter is the TX_range, the higher is the frequency of
+// route re-calculation when the network stations are mobile." The
+// random-waypoint mover plus the link monitor below quantify exactly
+// that claim (see the ablation bench in the repository root).
+
+// RandomWaypoint moves a station per the classic random-waypoint model:
+// pick a uniform destination in the field, travel at a uniform random
+// speed, pause, repeat.
+type RandomWaypoint struct {
+	Width, Height float64       // field size, meters
+	MinSpeed      float64       // m/s
+	MaxSpeed      float64       // m/s
+	Pause         time.Duration // dwell time at each waypoint
+	Tick          time.Duration // position-update granularity
+}
+
+// DefaultWaypoint returns a pedestrian-speed mover on a 300×300 m field.
+func DefaultWaypoint() RandomWaypoint {
+	return RandomWaypoint{
+		Width: 300, Height: 300,
+		MinSpeed: 0.5, MaxSpeed: 2.0,
+		Pause: 2 * time.Second,
+		Tick:  100 * time.Millisecond,
+	}
+}
+
+// Drive starts moving the station. Movement continues for the lifetime
+// of the simulation. The rng stream is derived from the network source
+// and the station ID, so runs are reproducible.
+func (w RandomWaypoint) Drive(net *Network, st *Station) {
+	rng := net.Source.Stream("mobility." + st.Addr().String())
+	var step func()
+	var target phy.Position
+	var speed float64
+	pick := func() {
+		target = phy.Pos(rng.Float64()*w.Width, rng.Float64()*w.Height)
+		speed = w.MinSpeed + rng.Float64()*(w.MaxSpeed-w.MinSpeed)
+	}
+	pick()
+	step = func() {
+		cur := st.Radio.Pos()
+		d := phy.Dist(cur, target)
+		travel := speed * w.Tick.Seconds()
+		if d <= travel {
+			st.Radio.SetPos(target)
+			pick()
+			net.Sched.After(w.Pause+w.Tick, step)
+			return
+		}
+		frac := travel / d
+		st.Radio.SetPos(phy.Pos(cur.X+(target.X-cur.X)*frac, cur.Y+(target.Y-cur.Y)*frac))
+		net.Sched.After(w.Tick, step)
+	}
+	net.Sched.After(w.Tick, step)
+}
+
+// LinkMonitor samples the distance between two stations and counts
+// link-state transitions against a transmission range, quantifying the
+// route-breakage frequency the paper's §3.2 discusses.
+type LinkMonitor struct {
+	Breaks  int           // up → down transitions
+	Repairs int           // down → up transitions
+	UpTime  time.Duration // total time within range
+	up      bool
+	started bool
+}
+
+// Watch samples the a↔b link every tick against rangeMeters until the
+// simulation ends. Call before running the simulation.
+func (lm *LinkMonitor) Watch(net *Network, a, b *Station, rangeMeters float64, tick time.Duration) {
+	var step func()
+	step = func() {
+		within := phy.Dist(a.Radio.Pos(), b.Radio.Pos()) <= rangeMeters
+		if !lm.started {
+			lm.started = true
+			lm.up = within
+		} else if within != lm.up {
+			if within {
+				lm.Repairs++
+			} else {
+				lm.Breaks++
+			}
+			lm.up = within
+		}
+		if within {
+			lm.UpTime += tick
+		}
+		net.Sched.After(tick, step)
+	}
+	net.Sched.After(tick, step)
+}

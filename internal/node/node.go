@@ -1,0 +1,103 @@
+// Package node composes the full per-station protocol stack — radio, DCF
+// MAC, network layer, UDP and TCP — and provides the Network builder the
+// experiments and examples use to lay out ad hoc topologies.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"adhocsim/internal/frame"
+	"adhocsim/internal/mac"
+	"adhocsim/internal/medium"
+	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/sim"
+	"adhocsim/internal/transport"
+)
+
+// Station is one ad hoc node: a laptop of the paper's testbed.
+type Station struct {
+	ID    uint32
+	MAC   *mac.MAC
+	Radio *medium.Radio
+	Net   *network.Stack
+	UDP   *transport.UDP
+	TCP   *transport.TCP
+}
+
+// Addr returns the station's network address (10.0.0.<id>).
+func (s *Station) Addr() network.Addr { return network.HostAddr(byte(s.ID)) }
+
+// HWAddr returns the station's MAC address.
+func (s *Station) HWAddr() frame.Addr { return frame.AddrFromID(s.ID) }
+
+// Network owns the shared simulation state of one experiment: scheduler,
+// random source, radio profile, medium, and stations.
+type Network struct {
+	Sched    *sim.Scheduler
+	Source   *sim.Source
+	Medium   *medium.Medium
+	Profile  *phy.Profile
+	MSS      int
+	Stations []*Station
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithProfile overrides the default radio profile.
+func WithProfile(p *phy.Profile) Option { return func(n *Network) { n.Profile = p } }
+
+// WithMSS sets the TCP maximum segment size (the paper uses 512-byte
+// application packets).
+func WithMSS(mss int) Option { return func(n *Network) { n.MSS = mss } }
+
+// NewNetwork creates an empty network seeded for reproducibility.
+func NewNetwork(seed uint64, opts ...Option) *Network {
+	n := &Network{
+		Sched:   sim.NewScheduler(),
+		Source:  sim.NewSource(seed),
+		Profile: phy.DefaultProfile(),
+		MSS:     transport.DefaultMSS,
+	}
+	n.Medium = medium.New(n.Sched, n.Source)
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// AddStation creates a station at pos with the given MAC configuration
+// (Address is assigned automatically) and wires it into the network:
+// every station knows every other station's link-layer address, the
+// testbed equivalent of a warm ARP cache.
+func (n *Network) AddStation(pos phy.Position, cfg mac.Config) *Station {
+	id := uint32(len(n.Stations) + 1)
+	if id > 250 {
+		panic(fmt.Sprintf("node: too many stations (%d)", id))
+	}
+	cfg.Address = frame.AddrFromID(id)
+	m := mac.New(n.Sched, n.Source, cfg)
+	st := &Station{ID: id, MAC: m}
+	st.Radio = n.Medium.AddRadio(id, pos, n.Profile, m)
+	m.Attach(st.Radio)
+	st.Net = network.NewStack(m, network.HostAddr(byte(id)))
+	st.UDP = transport.NewUDP(st.Net)
+	st.TCP = transport.NewTCP(n.Sched, n.Source, st.Net, n.MSS)
+
+	for _, other := range n.Stations {
+		other.Net.AddNeighbor(st.Addr(), st.HWAddr())
+		st.Net.AddNeighbor(other.Addr(), other.HWAddr())
+	}
+	n.Stations = append(n.Stations, st)
+	return st
+}
+
+// Run advances the simulation by d.
+func (n *Network) Run(d time.Duration) {
+	n.Sched.RunUntil(n.Sched.Now() + d)
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() time.Duration { return n.Sched.Now() }

@@ -1,0 +1,158 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"adhocsim/internal/mac"
+	"adhocsim/internal/network"
+	"adhocsim/internal/phy"
+)
+
+func TestAddStationWiring(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.AddStation(phy.Pos(0, 0), mac.Config{})
+	b := n.AddStation(phy.Pos(10, 0), mac.Config{})
+
+	if a.ID != 1 || b.ID != 2 {
+		t.Fatalf("IDs = %d, %d", a.ID, b.ID)
+	}
+	if a.Addr() != network.HostAddr(1) {
+		t.Fatalf("a.Addr() = %v", a.Addr())
+	}
+	if a.MAC == nil || a.Radio == nil || a.Net == nil || a.UDP == nil || a.TCP == nil {
+		t.Fatal("station stack incomplete")
+	}
+	if a.Radio.Pos() != phy.Pos(0, 0) {
+		t.Fatalf("radio position = %v", a.Radio.Pos())
+	}
+}
+
+func TestStationsCanTalkImmediately(t *testing.T) {
+	// AddStation must pre-populate neighbor tables in both directions.
+	n := NewNetwork(2)
+	a := n.AddStation(phy.Pos(0, 0), mac.Config{})
+	b := n.AddStation(phy.Pos(10, 0), mac.Config{})
+
+	got := ""
+	b.UDP.Listen(5, func(p []byte, _ network.Addr, _ uint16) { got = string(p) })
+	if err := a.UDP.SendTo([]byte("hi"), b.Addr(), 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(50 * time.Millisecond)
+	if got != "hi" {
+		t.Fatalf("got %q", got)
+	}
+
+	// And the reverse direction.
+	got2 := ""
+	a.UDP.Listen(5, func(p []byte, _ network.Addr, _ uint16) { got2 = string(p) })
+	if err := b.UDP.SendTo([]byte("yo"), a.Addr(), 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(50 * time.Millisecond)
+	if got2 != "yo" {
+		t.Fatalf("reverse got %q", got2)
+	}
+}
+
+func TestRunAdvancesClock(t *testing.T) {
+	n := NewNetwork(3)
+	n.Run(time.Second)
+	if n.Now() != time.Second {
+		t.Fatalf("Now() = %v", n.Now())
+	}
+	n.Run(time.Second)
+	if n.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v", n.Now())
+	}
+}
+
+func TestOptions(t *testing.T) {
+	prof := phy.DefaultProfile()
+	prof.Name = "custom"
+	n := NewNetwork(4, WithProfile(prof), WithMSS(512))
+	if n.Profile.Name != "custom" {
+		t.Fatal("WithProfile ignored")
+	}
+	if n.MSS != 512 {
+		t.Fatal("WithMSS ignored")
+	}
+}
+
+func TestRandomWaypointMovesStations(t *testing.T) {
+	n := NewNetwork(5)
+	a := n.AddStation(phy.Pos(50, 50), mac.Config{})
+	w := DefaultWaypoint()
+	w.Drive(n, a)
+	start := a.Radio.Pos()
+	n.Run(30 * time.Second)
+	end := a.Radio.Pos()
+	if start == end {
+		t.Fatal("station never moved")
+	}
+	if end.X < 0 || end.X > w.Width || end.Y < 0 || end.Y > w.Height {
+		t.Fatalf("station left the field: %v", end)
+	}
+}
+
+func TestMobilityRespectsSpeedBound(t *testing.T) {
+	n := NewNetwork(6)
+	a := n.AddStation(phy.Pos(50, 50), mac.Config{})
+	w := DefaultWaypoint()
+	w.MinSpeed, w.MaxSpeed = 1, 2
+	w.Drive(n, a)
+
+	// Sample positions every tick and verify displacement ≤ max speed.
+	prev := a.Radio.Pos()
+	violations := 0
+	for i := 0; i < 300; i++ {
+		n.Run(w.Tick)
+		cur := a.Radio.Pos()
+		if phy.Dist(prev, cur) > w.MaxSpeed*w.Tick.Seconds()*1.01 {
+			violations++
+		}
+		prev = cur
+	}
+	if violations > 0 {
+		t.Fatalf("%d displacement(s) exceeded the speed bound", violations)
+	}
+}
+
+func TestLinkMonitorCountsTransitions(t *testing.T) {
+	n := NewNetwork(7)
+	a := n.AddStation(phy.Pos(0, 0), mac.Config{})
+	b := n.AddStation(phy.Pos(10, 0), mac.Config{})
+
+	var lm LinkMonitor
+	lm.Watch(n, a, b, 50, 10*time.Millisecond)
+
+	// Drive b in and out of range manually.
+	n.Sched.At(100*time.Millisecond, func() { b.Radio.SetPos(phy.Pos(100, 0)) })
+	n.Sched.At(200*time.Millisecond, func() { b.Radio.SetPos(phy.Pos(20, 0)) })
+	n.Sched.At(300*time.Millisecond, func() { b.Radio.SetPos(phy.Pos(200, 0)) })
+	n.Run(400 * time.Millisecond)
+
+	if lm.Breaks != 2 || lm.Repairs != 1 {
+		t.Fatalf("breaks=%d repairs=%d, want 2/1", lm.Breaks, lm.Repairs)
+	}
+	if lm.UpTime == 0 {
+		t.Fatal("no uptime recorded")
+	}
+}
+
+func TestDeterministicNetworkRuns(t *testing.T) {
+	run := func() uint64 {
+		n := NewNetwork(42)
+		a := n.AddStation(phy.Pos(0, 0), mac.Config{})
+		b := n.AddStation(phy.Pos(28, 0), mac.Config{})
+		for i := 0; i < 20; i++ {
+			_ = a.UDP.SendTo(make([]byte, 100), b.Addr(), 1, 1)
+		}
+		n.Run(time.Second)
+		return a.MAC.Counters.DataTx + b.MAC.Counters.RxData*1000
+	}
+	if run() != run() {
+		t.Fatal("identical seeds diverged")
+	}
+}

@@ -1,0 +1,246 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adhocsim/internal/sim"
+)
+
+func TestLogDistanceRoundTrip(t *testing.T) {
+	l := LogDistance{RefLossDB: 40, Exponent: 3}
+	f := func(d float64) bool {
+		d = 1 + math.Mod(math.Abs(d), 500)
+		loss := l.LossDB(d)
+		back := l.RangeFor(loss)
+		return math.Abs(back-d) < 1e-6*d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogDistanceClampsBelowReference(t *testing.T) {
+	l := LogDistance{RefLossDB: 40, Exponent: 3}
+	if l.LossDB(0.1) != l.LossDB(1) {
+		t.Error("loss below 1 m should clamp to reference loss")
+	}
+	if l.LossDB(0) != 40 {
+		t.Errorf("LossDB(0) = %v, want 40", l.LossDB(0))
+	}
+}
+
+func TestLogDistanceMonotone(t *testing.T) {
+	l := LogDistance{RefLossDB: 40, Exponent: 3}
+	prev := l.LossDB(1)
+	for d := 2.0; d <= 300; d += 1 {
+		cur := l.LossDB(d)
+		if cur <= prev {
+			t.Fatalf("path loss not increasing at %v m", d)
+		}
+		prev = cur
+	}
+}
+
+func TestDefaultProfileCalibration(t *testing.T) {
+	p := DefaultProfile()
+	// Median ranges must land on the paper's Table 3 estimates.
+	tests := []struct {
+		rate Rate
+		want float64
+		tol  float64
+	}{
+		{Rate11, 30, 0.5},
+		{Rate5_5, 70, 0.5},
+		{Rate2, 95, 0.5},
+		{Rate1, 120, 0.5},
+	}
+	for _, tt := range tests {
+		if got := p.MedianRange(tt.rate); math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("MedianRange(%v) = %.1f m, want %.1f m", tt.rate, got, tt.want)
+		}
+	}
+	// PCS range must exceed every data range (paper §2).
+	cs := p.CarrierSenseRange()
+	if cs < 150 || cs > 250 {
+		t.Errorf("CarrierSenseRange = %.1f m, want ~190 m", cs)
+	}
+	for _, r := range Rates {
+		if p.MedianRange(r) >= cs {
+			t.Errorf("TX range at %v exceeds PCS range", r)
+		}
+	}
+}
+
+func TestSensitivityOrdering(t *testing.T) {
+	p := DefaultProfile()
+	// Higher rates require stronger signals (shorter range).
+	for i := 1; i < 4; i++ {
+		if p.SensitivityDBm[i] <= p.SensitivityDBm[i-1] {
+			t.Errorf("sensitivity[%d]=%v not above sensitivity[%d]=%v",
+				i, p.SensitivityDBm[i], i-1, p.SensitivityDBm[i-1])
+		}
+		if p.SINRRequiredDB[i] <= p.SINRRequiredDB[i-1] {
+			t.Errorf("SINR requirement not increasing with rate")
+		}
+	}
+	// CCA threshold must be below (more sensitive than) every decode
+	// sensitivity, and PLCP detect at the 1 Mbit/s sensitivity.
+	if p.CCAThresholdDBm >= p.SensitivityDBm[0] {
+		t.Error("CCA threshold should be below 1 Mbit/s sensitivity")
+	}
+	if p.PLCPDetectDBm != p.SensitivityDBm[Rate1.Index()] {
+		t.Error("PLCP detect should equal 1 Mbit/s sensitivity")
+	}
+}
+
+func TestLossProbabilityShape(t *testing.T) {
+	p := DefaultProfile()
+	for _, r := range Rates {
+		median := p.MedianRange(r)
+		if got := p.LossProbability(r, median); math.Abs(got-0.5) > 0.01 {
+			t.Errorf("loss at median range of %v = %.3f, want 0.5", r, got)
+		}
+		if got := p.LossProbability(r, median/2); got > 0.05 {
+			t.Errorf("loss at half median range of %v = %.3f, want < 0.05", r, got)
+		}
+		if got := p.LossProbability(r, median*2); got < 0.95 {
+			t.Errorf("loss at double median range of %v = %.3f, want > 0.95", r, got)
+		}
+	}
+	// Monotone in distance.
+	for _, r := range Rates {
+		prev := -1.0
+		for d := 5.0; d < 300; d += 5 {
+			cur := p.LossProbability(r, d)
+			if cur < prev {
+				t.Fatalf("loss probability decreasing at %v m for %v", d, r)
+			}
+			prev = cur
+		}
+	}
+	// At any distance, higher rates lose more.
+	for d := 10.0; d < 200; d += 10 {
+		for i := 1; i < len(Rates); i++ {
+			if p.LossProbability(Rates[i], d) < p.LossProbability(Rates[i-1], d)-1e-9 {
+				t.Fatalf("at %v m, %v loses less than %v", d, Rates[i], Rates[i-1])
+			}
+		}
+	}
+}
+
+func TestLossProbabilityNoFading(t *testing.T) {
+	p := DefaultProfile()
+	p.Fading.SigmaDB = 0
+	r := Rate11
+	median := p.MedianRange(r)
+	if got := p.LossProbability(r, median-1); got != 0 {
+		t.Errorf("loss just inside range = %v, want 0", got)
+	}
+	if got := p.LossProbability(r, median+1); got != 1 {
+		t.Errorf("loss just outside range = %v, want 1", got)
+	}
+}
+
+func TestFadingDeterminismAndEpochs(t *testing.T) {
+	src := sim.NewSource(7)
+	f := Fading{SigmaDB: 4, Coherence: 100 * time.Millisecond}
+	a := f.ShadowDB(src, 1, 2, 10*time.Millisecond)
+	b := f.ShadowDB(src, 1, 2, 20*time.Millisecond)
+	if a != b {
+		t.Error("shadowing changed within one coherence epoch")
+	}
+	c := f.ShadowDB(src, 1, 2, 150*time.Millisecond)
+	if a == c {
+		t.Error("shadowing identical across epochs (coincidence ~impossible)")
+	}
+}
+
+func TestFadingAsymmetricByDefault(t *testing.T) {
+	src := sim.NewSource(7)
+	f := Fading{SigmaDB: 4, Coherence: time.Second}
+	if f.ShadowDB(src, 1, 2, 0) == f.ShadowDB(src, 2, 1, 0) {
+		t.Error("asymmetric fading returned symmetric values")
+	}
+	f.Symmetric = true
+	if f.ShadowDB(src, 1, 2, 0) != f.ShadowDB(src, 2, 1, 0) {
+		t.Error("symmetric fading differs by direction")
+	}
+}
+
+func TestFadingZeroSigma(t *testing.T) {
+	src := sim.NewSource(7)
+	f := Fading{SigmaDB: 0, Coherence: time.Second}
+	if f.ShadowDB(src, 1, 2, 0) != 0 {
+		t.Error("zero sigma must produce zero shadowing")
+	}
+}
+
+func TestFadingMoments(t *testing.T) {
+	src := sim.NewSource(11)
+	f := Fading{SigmaDB: 4, Coherence: time.Millisecond}
+	var sum, sumSq float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := f.ShadowDB(src, 1, 2, time.Duration(i)*time.Millisecond)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.3 {
+		t.Errorf("shadowing mean = %.2f dB, want ~0", mean)
+	}
+	if math.Abs(sd-4) > 0.3 {
+		t.Errorf("shadowing σ = %.2f dB, want ~4", sd)
+	}
+}
+
+func TestWeatherApply(t *testing.T) {
+	base := DefaultProfile()
+	damp := WeatherDamp.Apply(base)
+	if damp.PathLoss.Exponent <= base.PathLoss.Exponent {
+		t.Error("damp weather must raise the path-loss exponent")
+	}
+	if damp.Fading.SigmaDB <= base.Fading.SigmaDB {
+		t.Error("damp weather must raise σ")
+	}
+	// Base profile untouched.
+	if base.PathLoss.Exponent != 3.0 {
+		t.Error("Apply mutated the base profile")
+	}
+	// Damp day: shorter range at the same sensitivity.
+	if damp.MedianRange(Rate1) >= base.MedianRange(Rate1) {
+		t.Error("damp weather should shorten the 1 Mbit/s range")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := DefaultProfile()
+	q := p.Clone()
+	q.TxPowerDBm = 0
+	if p.TxPowerDBm == 0 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	if got := DBmToMilliwatt(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("DBmToMilliwatt(0) = %v", got)
+	}
+	if got := DBmToMilliwatt(10); math.Abs(got-10) > 1e-9 {
+		t.Errorf("DBmToMilliwatt(10) = %v", got)
+	}
+	f := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 100)
+		return math.Abs(MilliwattToDBm(DBmToMilliwatt(dbm))-dbm) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(MilliwattToDBm(0), -1) {
+		t.Error("MilliwattToDBm(0) should be -Inf")
+	}
+}

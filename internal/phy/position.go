@@ -1,0 +1,30 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Position is a station location on the (flat, outdoor) experiment field,
+// in meters. The paper's testbed is an open field without buildings, so a
+// 2-D plane is an adequate geometry.
+type Position struct {
+	X, Y float64
+}
+
+// Pos is shorthand for constructing a Position.
+func Pos(x, y float64) Position { return Position{X: x, Y: y} }
+
+// Dist returns the Euclidean distance in meters between p and q.
+func Dist(p, q Position) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p translated by (dx, dy).
+func (p Position) Add(dx, dy float64) Position {
+	return Position{X: p.X + dx, Y: p.Y + dy}
+}
+
+func (p Position) String() string {
+	return fmt.Sprintf("(%.1f,%.1f)m", p.X, p.Y)
+}

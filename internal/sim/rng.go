@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source derives independent, named random streams from a single root
+// seed. Each subsystem asks for its own stream ("mac.backoff.3",
+// "fading", "app.cbr.1", ...) so that adding randomness to one subsystem
+// never perturbs the draws seen by another — experiments stay comparable
+// across code changes.
+type Source struct {
+	seed uint64
+}
+
+// NewSource returns a stream factory rooted at seed.
+func NewSource(seed uint64) *Source { return &Source{seed: seed} }
+
+// Seed returns the root seed.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Stream returns a deterministic pseudo-random stream named name.
+// Streams with distinct names are statistically independent; calling
+// Stream twice with the same name returns identically-seeded (but
+// separate) streams.
+func (s *Source) Stream(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	mixed := splitmix64(s.seed ^ h.Sum64())
+	return rand.New(rand.NewSource(int64(mixed)))
+}
+
+// Hash64 deterministically mixes the root seed with the given words.
+// It is the basis for stateless stochastic processes such as per-link
+// block fading, where the value for (link, epoch) must be reproducible
+// without storing history.
+func (s *Source) Hash64(words ...uint64) uint64 {
+	x := s.seed
+	for _, w := range words {
+		x = splitmix64(x ^ w)
+	}
+	return splitmix64(x)
+}
+
+// HashFloat01 maps Hash64 output to a uniform float64 in [0,1).
+func (s *Source) HashFloat01(words ...uint64) float64 {
+	return float64(s.Hash64(words...)>>11) / (1 << 53)
+}
+
+// HashNorm returns a standard normal deviate that is a pure function of
+// (seed, words): the Box-Muller transform applied to two hashed uniforms.
+func (s *Source) HashNorm(words ...uint64) float64 {
+	u1 := s.HashFloat01(append(words, 0x9e3779b97f4a7c15)...)
+	u2 := s.HashFloat01(append(words, 0xbf58476d1ce4e5b9)...)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-mixed 64-bit hash
+// used to decorrelate derived seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

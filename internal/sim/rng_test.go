@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewSource(42).Stream("mac.backoff")
+	b := NewSource(42).Stream("mac.backoff")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identically named streams diverged")
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	src := NewSource(42)
+	a := src.Stream("a")
+	b := src.Stream("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different names produced %d identical draws", same)
+	}
+}
+
+func TestSeedChangesStreams(t *testing.T) {
+	a := NewSource(1).Stream("x")
+	b := NewSource(2).Stream("x")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	s := NewSource(7)
+	if s.Hash64(1, 2, 3) != s.Hash64(1, 2, 3) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if s.Hash64(1, 2, 3) == s.Hash64(3, 2, 1) {
+		t.Fatal("Hash64 ignores word order")
+	}
+}
+
+func TestHashFloat01Range(t *testing.T) {
+	s := NewSource(7)
+	f := func(a, b uint64) bool {
+		v := s.HashFloat01(a, b)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HashNorm produces values with approximately standard-normal
+// moments when aggregated over many inputs.
+func TestHashNormMoments(t *testing.T) {
+	s := NewSource(123)
+	const n = 20000
+	var sum, sumSq float64
+	for i := uint64(0); i < n; i++ {
+		v := s.HashNorm(i)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean = %f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("variance = %f, want ~1", variance)
+	}
+}
+
+func TestHashNormDeterministic(t *testing.T) {
+	s := NewSource(9)
+	if s.HashNorm(5, 6) != s.HashNorm(5, 6) {
+		t.Fatal("HashNorm not deterministic")
+	}
+}
+
+func TestHashFloat01Uniformity(t *testing.T) {
+	s := NewSource(99)
+	const n = 10000
+	buckets := make([]int, 10)
+	for i := uint64(0); i < n; i++ {
+		buckets[int(s.HashFloat01(i)*10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-300 || c > n/10+300 {
+			t.Fatalf("bucket %d has %d entries, want ~%d", i, c, n/10)
+		}
+	}
+}

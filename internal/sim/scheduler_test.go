@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerZeroValueUsable(t *testing.T) {
+	var s Scheduler
+	fired := false
+	s.After(time.Millisecond, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if got, want := s.Now(), time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(3*time.Millisecond, func() { order = append(order, 3) })
+	s.At(1*time.Millisecond, func() { order = append(order, 1) })
+	s.At(2*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerFIFOTieBreak(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.After(time.Millisecond, func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("event should be pending")
+	}
+	s.Cancel(e)
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	s.Cancel(e)   // double cancel is a no-op
+	s.Cancel(nil) // nil cancel is a no-op
+}
+
+func TestSchedulerCancelMiddleOfHeap(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.At(time.Duration(i)*time.Millisecond, func() { order = append(order, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		s.Cancel(events[i])
+	}
+	s.Run()
+	for _, v := range order {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(order) != 13 {
+		t.Fatalf("fired %d events, want 13", len(order))
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Millisecond
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(3 * time.Millisecond)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3 (events at exactly the horizon must fire)", len(fired))
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("Now() = %v, want 3ms", s.Now())
+	}
+	s.RunUntil(10 * time.Millisecond)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("Now() = %v, want 10ms (clock advances to horizon)", s.Now())
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(time.Millisecond, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(0, func() {})
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			s.After(time.Microsecond, rec)
+		}
+	}
+	s.After(0, rec)
+	s.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	// First call fires at t=0, the 100th at t=99µs.
+	if got, want := s.Now(), 99*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSchedulerReschedule(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	e := s.At(time.Millisecond, func() { count++ })
+	e = s.Reschedule(e, 2*time.Millisecond, func() { count += 10 })
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 (original must not fire)", count)
+	}
+	if e.Pending() {
+		t.Fatal("event still pending after firing")
+	}
+}
+
+// Property: for any random set of insertions and cancellations, the
+// surviving events fire exactly once, in nondecreasing time order, with
+// FIFO order within equal timestamps.
+func TestSchedulerOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []rec
+		var events []*Event
+		var expect []rec
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			at := time.Duration(rng.Intn(50)) * time.Millisecond
+			i := i
+			events = append(events, s.At(at, func() { fired = append(fired, rec{at, i}) }))
+			expect = append(expect, rec{at, i})
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < count/3; i++ {
+			k := rng.Intn(count)
+			s.Cancel(events[k])
+			cancelled[k] = true
+		}
+		s.Run()
+		var want []rec
+		for _, r := range expect {
+			if !cancelled[r.seq] {
+				want = append(want, r)
+			}
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerFiredCounter(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 5; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", s.Fired())
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", s.Len())
+	}
+}

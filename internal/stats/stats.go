@@ -1,0 +1,167 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: streaming mean/variance (Welford), confidence intervals,
+// time series, and rate meters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Welford accumulates a streaming mean and variance. The zero value is
+// ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// CI95 returns the half-width of the normal-approximation 95 %
+// confidence interval of the mean.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Std() / math.Sqrt(float64(w.n))
+}
+
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", w.Mean(), w.CI95(), w.n)
+}
+
+// Series is an append-only (time, value) sequence, e.g. a throughput
+// trace sampled per interval.
+type Series struct {
+	T []time.Duration
+	V []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.V) }
+
+// Mean returns the mean of the values.
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the values using the
+// nearest-rank method on a sorted copy.
+func (s *Series) Quantile(q float64) float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), s.V...)
+	sort.Float64s(c)
+	idx := int(q*float64(len(c)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c) {
+		idx = len(c) - 1
+	}
+	return c[idx]
+}
+
+// RateMeter converts a monotonically growing byte counter into Mbit/s
+// samples over fixed windows.
+type RateMeter struct {
+	window    time.Duration
+	lastBytes uint64
+	lastTime  time.Duration
+	Samples   Series
+}
+
+// NewRateMeter creates a meter with the given sampling window.
+func NewRateMeter(window time.Duration) *RateMeter {
+	return &RateMeter{window: window}
+}
+
+// Window returns the sampling window.
+func (r *RateMeter) Window() time.Duration { return r.window }
+
+// Observe records the byte counter at time now, emitting a sample if a
+// full window has elapsed since the previous sample.
+func (r *RateMeter) Observe(now time.Duration, bytes uint64) {
+	if now-r.lastTime < r.window {
+		return
+	}
+	dt := now - r.lastTime
+	db := bytes - r.lastBytes
+	r.Samples.Add(now, float64(db)*8/dt.Seconds()/1e6)
+	r.lastTime = now
+	r.lastBytes = bytes
+}
+
+// Mbps converts a byte count over a duration to Mbit/s.
+func Mbps(bytes uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e6
+}
+
+// Kbps converts a byte count over a duration to kbit/s.
+func Kbps(bytes uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / d.Seconds() / 1e3
+}
+
+// JainFairness computes Jain's fairness index over per-flow throughputs:
+// 1.0 is perfectly fair, 1/n is maximally unfair. The paper's four-node
+// experiments are, in essence, measurements of this index.
+func JainFairness(xs ...float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	// Unbiased variance of that set is 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", w.Var(), 32.0/7)
+	}
+}
+
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.CI95() != 0 {
+		t.Fatal("zero-value Welford must report zeros")
+	}
+	w.Add(3)
+	if w.Var() != 0 {
+		t.Fatal("single observation has zero variance")
+	}
+}
+
+// Property: Welford matches the two-pass mean for random data.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%100 + 2
+		xs := make([]float64, count)
+		var w Welford
+		var sum float64
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			sum += xs[i]
+			w.Add(xs[i])
+		}
+		mean := sum / float64(count)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(count-1)
+		return math.Abs(w.Mean()-mean) < 1e-9*(1+math.Abs(mean)) &&
+			math.Abs(w.Var()-variance) < 1e-6*(1+variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	for i := 1; i <= 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Mean() != 5.5 {
+		t.Fatalf("Mean = %v, want 5.5", s.Mean())
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("Q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Fatalf("Q1 = %v", got)
+	}
+	if got := s.Quantile(0.5); got < 5 || got > 6 {
+		t.Fatalf("median = %v", got)
+	}
+	var empty Series
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Fatal("empty series must report zeros")
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	m := NewRateMeter(time.Second)
+	m.Observe(500*time.Millisecond, 1000) // within window: no sample
+	if m.Samples.Len() != 0 {
+		t.Fatal("sampled before a full window elapsed")
+	}
+	m.Observe(time.Second, 125_000) // 1 Mbit in 1 s
+	if m.Samples.Len() != 1 {
+		t.Fatalf("samples = %d, want 1", m.Samples.Len())
+	}
+	if got := m.Samples.V[0]; math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("rate = %v Mbit/s, want 1", got)
+	}
+	m.Observe(2*time.Second, 375_000) // +2 Mbit in 1 s
+	if got := m.Samples.V[1]; math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("rate = %v Mbit/s, want 2", got)
+	}
+}
+
+func TestMbpsKbps(t *testing.T) {
+	if got := Mbps(125_000, time.Second); got != 1 {
+		t.Fatalf("Mbps = %v", got)
+	}
+	if got := Kbps(125, time.Second); got != 1 {
+		t.Fatalf("Kbps = %v", got)
+	}
+	if Mbps(100, 0) != 0 || Kbps(100, -time.Second) != 0 {
+		t.Fatal("degenerate durations must yield 0")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness(1, 1, 1, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal flows: %v, want 1", got)
+	}
+	if got := JainFairness(1, 0, 0, 0); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("one-flow-takes-all: %v, want 0.25", got)
+	}
+	if got := JainFairness(); got != 0 {
+		t.Fatalf("no flows: %v", got)
+	}
+	if got := JainFairness(0, 0); got != 1 {
+		t.Fatalf("all-zero flows: %v, want 1 (vacuously fair)", got)
+	}
+	// Index is scale-invariant.
+	a := JainFairness(1, 2, 3)
+	b := JainFairness(10, 20, 30)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatal("Jain index must be scale invariant")
+	}
+}

@@ -1,0 +1,77 @@
+// Package trace provides a lightweight, optional event log for
+// debugging simulations: timestamped, leveled lines into any io.Writer,
+// plus a bounded ring buffer for post-mortem inspection in tests.
+// Tracing is off by default and costs one branch per call when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Level filters trace output.
+type Level int
+
+// Levels, ordered by verbosity.
+const (
+	LevelOff Level = iota
+	LevelInfo
+	LevelDebug
+)
+
+// Tracer writes simulation events. The zero value is a disabled tracer;
+// construct with New for an active one.
+type Tracer struct {
+	w     io.Writer
+	level Level
+	clock func() time.Duration
+
+	ring []string
+	next int
+}
+
+// New returns a tracer writing to w at the given level, timestamping
+// events with clock (normally the scheduler's Now).
+func New(w io.Writer, level Level, clock func() time.Duration) *Tracer {
+	return &Tracer{w: w, level: level, clock: clock, ring: make([]string, 256)}
+}
+
+// Enabled reports whether events at level l would be emitted.
+func (t *Tracer) Enabled(l Level) bool {
+	return t != nil && t.w != nil && l <= t.level
+}
+
+// Infof logs a significant event (frame delivered, session state).
+func (t *Tracer) Infof(format string, args ...any) { t.emit(LevelInfo, format, args...) }
+
+// Debugf logs a fine-grained event (backoff ticks, CCA edges).
+func (t *Tracer) Debugf(format string, args ...any) { t.emit(LevelDebug, format, args...) }
+
+func (t *Tracer) emit(l Level, format string, args ...any) {
+	if !t.Enabled(l) {
+		return
+	}
+	line := fmt.Sprintf("[%12v] %s", t.clock(), fmt.Sprintf(format, args...))
+	fmt.Fprintln(t.w, line)
+	t.ring[t.next%len(t.ring)] = line
+	t.next++
+}
+
+// Recent returns up to n of the most recent trace lines, oldest first.
+func (t *Tracer) Recent(n int) []string {
+	if t == nil || t.next == 0 {
+		return nil
+	}
+	if n > len(t.ring) {
+		n = len(t.ring)
+	}
+	if n > t.next {
+		n = t.next
+	}
+	out := make([]string, 0, n)
+	for i := t.next - n; i < t.next; i++ {
+		out = append(out, t.ring[i%len(t.ring)])
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Infof("should not panic %d", 1)
+	tr.Debugf("nor this")
+	if tr.Enabled(LevelInfo) {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Recent(5) != nil {
+		t.Fatal("nil tracer has history")
+	}
+	var zero Tracer
+	zero.Infof("zero value is disabled too")
+	if zero.Enabled(LevelInfo) {
+		t.Fatal("zero tracer reports enabled")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	var sb strings.Builder
+	clock := func() time.Duration { return 42 * time.Microsecond }
+	tr := New(&sb, LevelInfo, clock)
+	tr.Infof("info %d", 1)
+	tr.Debugf("debug %d", 2)
+	out := sb.String()
+	if !strings.Contains(out, "info 1") {
+		t.Fatalf("missing info line: %q", out)
+	}
+	if strings.Contains(out, "debug") {
+		t.Fatalf("debug leaked at info level: %q", out)
+	}
+	if !strings.Contains(out, "42µs") {
+		t.Fatalf("missing timestamp: %q", out)
+	}
+}
+
+func TestRecentRing(t *testing.T) {
+	var sb strings.Builder
+	tr := New(&sb, LevelDebug, func() time.Duration { return 0 })
+	for i := 0; i < 300; i++ {
+		tr.Debugf("line %d", i)
+	}
+	recent := tr.Recent(3)
+	if len(recent) != 3 {
+		t.Fatalf("Recent(3) = %d lines", len(recent))
+	}
+	if !strings.Contains(recent[2], "line 299") {
+		t.Fatalf("last line = %q", recent[2])
+	}
+	if !strings.Contains(recent[0], "line 297") {
+		t.Fatalf("first line = %q", recent[0])
+	}
+	// Asking for more than recorded or ring size caps gracefully.
+	if got := tr.Recent(1000); len(got) != 256 {
+		t.Fatalf("Recent(1000) = %d lines, want ring size 256", len(got))
+	}
+}

@@ -1,0 +1,226 @@
+package transport_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"adhocsim/internal/app"
+	"adhocsim/internal/mac"
+	"adhocsim/internal/network"
+	"adhocsim/internal/node"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/transport"
+)
+
+// twoNode builds a clean (fade-free) two-station network 10 m apart.
+func twoNode(seed uint64, rate phy.Rate, mss int) (*node.Network, *node.Station, *node.Station) {
+	prof := phy.DefaultProfile()
+	prof.Fading.SigmaDB = 0
+	n := node.NewNetwork(seed, node.WithProfile(prof), node.WithMSS(mss))
+	a := n.AddStation(phy.Pos(0, 0), mac.Config{DataRate: rate})
+	b := n.AddStation(phy.Pos(10, 0), mac.Config{DataRate: rate})
+	return n, a, b
+}
+
+func TestUDPDelivery(t *testing.T) {
+	n, a, b := twoNode(1, phy.Rate11, 0)
+	var got []byte
+	var from network.Addr
+	b.UDP.Listen(7000, func(p []byte, src network.Addr, srcPort uint16) {
+		got = append([]byte(nil), p...)
+		from = src
+	})
+	if err := a.UDP.SendTo([]byte("datagram"), b.Addr(), 5000, 7000); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(50 * time.Millisecond)
+	if string(got) != "datagram" {
+		t.Fatalf("got %q", got)
+	}
+	if from != a.Addr() {
+		t.Fatalf("src = %v, want %v", from, a.Addr())
+	}
+}
+
+func TestUDPUnboundPortDropped(t *testing.T) {
+	n, a, b := twoNode(1, phy.Rate11, 0)
+	if err := a.UDP.SendTo([]byte("x"), b.Addr(), 5000, 9999); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(50 * time.Millisecond)
+	if b.UDP.NoPort != 1 {
+		t.Fatalf("NoPort = %d, want 1", b.UDP.NoPort)
+	}
+}
+
+func TestTCPHandshakeAndTransfer(t *testing.T) {
+	n, a, b := twoNode(2, phy.Rate11, 512)
+
+	var rcvd bytes.Buffer
+	b.TCP.Listen(80, func(c *transport.Conn) {
+		c.OnData(func(p []byte) { rcvd.Write(p) })
+	})
+
+	conn := a.TCP.Dial(b.Addr(), 80)
+	msg := bytes.Repeat([]byte("0123456789abcdef"), 256) // 4 KiB
+	if got := conn.Write(msg); got != len(msg) {
+		t.Fatalf("Write = %d, want %d", got, len(msg))
+	}
+	n.Run(200 * time.Millisecond)
+
+	if !conn.Established() {
+		t.Fatal("handshake did not complete")
+	}
+	if !bytes.Equal(rcvd.Bytes(), msg) {
+		t.Fatalf("received %d bytes, want %d identical bytes", rcvd.Len(), len(msg))
+	}
+	if conn.Stats.Retransmits != 0 {
+		t.Fatalf("clean link: %d retransmits", conn.Stats.Retransmits)
+	}
+}
+
+func TestTCPDeliversInOrderOnLossyLink(t *testing.T) {
+	// 28 m at 11 Mbit/s with fast fading: heavy MAC losses, occasional
+	// MSDU drops → TCP must repair everything.
+	prof := phy.DefaultProfile()
+	prof.Fading.Coherence = 4 * time.Millisecond
+	n := node.NewNetwork(3, node.WithProfile(prof), node.WithMSS(512))
+	a := n.AddStation(phy.Pos(0, 0), mac.Config{DataRate: phy.Rate11})
+	b := n.AddStation(phy.Pos(28, 0), mac.Config{DataRate: phy.Rate11})
+
+	var rcvd bytes.Buffer
+	b.TCP.Listen(80, func(c *transport.Conn) {
+		c.OnData(func(p []byte) { rcvd.Write(p) })
+	})
+	conn := a.TCP.Dial(b.Addr(), 80)
+
+	pattern := make([]byte, 256<<10)
+	for i := range pattern {
+		pattern[i] = byte(i * 7)
+	}
+	sent := 0
+	push := func() {
+		for sent < len(pattern) {
+			n := conn.Write(pattern[sent:])
+			sent += n
+			if n == 0 {
+				return
+			}
+		}
+	}
+	conn.OnWritable(push)
+	push()
+	n.Run(5 * time.Second)
+
+	if rcvd.Len() < 64<<10 {
+		t.Fatalf("delivered only %d bytes", rcvd.Len())
+	}
+	if !bytes.Equal(rcvd.Bytes(), pattern[:rcvd.Len()]) {
+		t.Fatal("delivered stream does not match the sent prefix")
+	}
+	if conn.Stats.Retransmits == 0 {
+		t.Fatal("expected TCP retransmissions on a lossy link")
+	}
+}
+
+func TestTCPDelayedACKs(t *testing.T) {
+	n, a, b := twoNode(4, phy.Rate11, 512)
+	var sink *transport.Conn
+	b.TCP.Listen(80, func(c *transport.Conn) { sink = c })
+	conn := a.TCP.Dial(b.Addr(), 80)
+	conn.Write(make([]byte, 64<<10))
+	n.Run(500 * time.Millisecond)
+
+	if sink == nil {
+		t.Fatal("no accept")
+	}
+	// With every-other-segment ACKing, the receiver sends roughly half
+	// as many ACK segments as it receives data segments.
+	ratio := float64(sink.Stats.SegsSent) / float64(sink.Stats.SegsRcvd)
+	if ratio < 0.4 || ratio > 0.75 {
+		t.Fatalf("ACK/data ratio = %.2f, want ≈0.5 (delayed ACKs)", ratio)
+	}
+}
+
+func TestTCPCloseSignalsPeer(t *testing.T) {
+	n, a, b := twoNode(5, phy.Rate11, 512)
+	closed := false
+	var rcvd int
+	b.TCP.Listen(80, func(c *transport.Conn) {
+		c.OnData(func(p []byte) { rcvd += len(p) })
+		c.OnClose(func() { closed = true })
+	})
+	conn := a.TCP.Dial(b.Addr(), 80)
+	conn.Write(make([]byte, 2048))
+	n.Run(100 * time.Millisecond)
+	conn.Close()
+	n.Run(100 * time.Millisecond)
+
+	if rcvd != 2048 {
+		t.Fatalf("delivered %d bytes before close, want 2048", rcvd)
+	}
+	if !closed {
+		t.Fatal("peer never saw the close")
+	}
+}
+
+func TestTCPSlowStartGrowsCwnd(t *testing.T) {
+	n, a, b := twoNode(6, phy.Rate11, 512)
+	b.TCP.Listen(80, func(c *transport.Conn) {})
+	conn := a.TCP.Dial(b.Addr(), 80)
+	start := conn.CwndBytes()
+	conn.Write(make([]byte, 64<<10))
+	n.Run(300 * time.Millisecond)
+	if conn.CwndBytes() <= start {
+		t.Fatalf("cwnd did not grow: %d → %d", start, conn.CwndBytes())
+	}
+}
+
+func TestTCPThroughputBelowUDP(t *testing.T) {
+	// The Figure 2 relationship: at 11 Mbit/s with 512-byte packets, UDP
+	// approaches the analytic maximum while TCP pays for its ACK stream.
+	const horizon = 2 * time.Second
+
+	nU, aU, bU := twoNode(7, phy.Rate11, 512)
+	var sinkU app.UDPSink
+	sinkU.ListenUDP(bU, 9000)
+	app.NewCBR(nU, aU, bU.Addr(), 9000, 512, 0).Start()
+	nU.Run(horizon)
+	udp := sinkU.ThroughputMbps(horizon)
+
+	nT, aT, bT := twoNode(7, phy.Rate11, 512)
+	var sinkT app.TCPSink
+	sinkT.ListenTCP(bT, 9000)
+	app.StartBulk(nT, aT, bT.Addr(), 9000, 512)
+	nT.Run(horizon)
+	tcp := sinkT.ThroughputMbps(horizon)
+
+	if udp < 2.7 || udp > 3.5 {
+		t.Fatalf("UDP throughput = %.2f Mbit/s, want ≈3.2 (near analytic max)", udp)
+	}
+	if tcp >= udp {
+		t.Fatalf("TCP %.2f ≥ UDP %.2f; TCP ACK overhead must show", tcp, udp)
+	}
+	if tcp < 1.5 {
+		t.Fatalf("TCP throughput = %.2f Mbit/s implausibly low", tcp)
+	}
+}
+
+func TestSegmentCodecProperty(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, flags uint8, wnd uint16, payload []byte) bool {
+		in := map[string]any{}
+		_ = in
+		b := transport.EncodeSegmentForTest(srcPort, dstPort, seq, ack, flags, wnd, payload)
+		sp, dp, s2, a2, f2, w2, p2, err := transport.DecodeSegmentForTest(b)
+		if err != nil {
+			return false
+		}
+		return sp == srcPort && dp == dstPort && s2 == seq && a2 == ack &&
+			f2 == flags && w2 == wnd && bytes.Equal(p2, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
