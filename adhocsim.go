@@ -38,6 +38,7 @@ import (
 	"adhocsim/internal/network"
 	"adhocsim/internal/node"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/runner"
 )
 
 // PHY layer: rates, positions, radio profiles, weather.
@@ -207,4 +208,38 @@ var (
 	Figure11     = experiments.Figure11
 	Figure12     = experiments.Figure12
 	Table3       = experiments.Table3
+)
+
+// Parallel replication harness (internal/runner): every experiment can
+// be averaged over N independently seeded replications fanned out
+// across worker goroutines. Aggregates are bit-identical for any
+// worker count.
+type (
+	// Rep configures a replicated experiment: replication count, worker
+	// bound, optional progress callback.
+	Rep = experiments.Rep
+	// Summary is the aggregate of one metric over replications
+	// (mean, 95% CI, std, min, max).
+	Summary = runner.Summary
+	// TwoNodeSummary aggregates TwoNodeResult metrics over replications.
+	TwoNodeSummary = experiments.TwoNodeSummary
+	// FourNodeSummary aggregates FourNodeResult metrics over replications.
+	FourNodeSummary = experiments.FourNodeSummary
+)
+
+// Replicated experiment entry points: the classic runners averaged over
+// Rep.Replications independently seeded runs, with 95% confidence
+// intervals. Replication 0 reuses the root seed, so Rep{Replications: 1}
+// reproduces the classic output exactly.
+var (
+	ReplicateTwoNode  = experiments.ReplicateTwoNode
+	ReplicateFourNode = experiments.ReplicateFourNode
+	Figure2Reps       = experiments.Figure2Reps
+	Figure3Reps       = experiments.Figure3Reps
+	Figure4Reps       = experiments.Figure4Reps
+	Figure7Reps       = experiments.Figure7Reps
+	Figure9Reps       = experiments.Figure9Reps
+	Figure11Reps      = experiments.Figure11Reps
+	Figure12Reps      = experiments.Figure12Reps
+	Table3Reps        = experiments.Table3Reps
 )

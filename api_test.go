@@ -86,6 +86,40 @@ func TestPublicExperimentRunners(t *testing.T) {
 	}
 }
 
+func TestPublicReplicationHarness(t *testing.T) {
+	sum := adhocsim.ReplicateTwoNode(adhocsim.TwoNode{
+		Transport: adhocsim.UDP,
+		Duration:  500 * time.Millisecond,
+		Seed:      3,
+	}, adhocsim.Rep{Replications: 3, Workers: 2})
+	if sum.Replications != 3 || sum.Mbps.N != 3 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	if sum.Mbps.Mean <= 0 || sum.IdealMbps <= 0 {
+		t.Fatalf("summary means: %+v", sum.Mbps)
+	}
+	// Replication 0 reuses the root seed: the classic runner is a
+	// special case of the harness.
+	classic := adhocsim.RunTwoNode(adhocsim.TwoNode{
+		Transport: adhocsim.UDP,
+		Duration:  500 * time.Millisecond,
+		Seed:      3,
+	})
+	if sum.Runs[0] != classic {
+		t.Fatalf("replication 0 %+v != classic %+v", sum.Runs[0], classic)
+	}
+
+	cells := adhocsim.Figure7Reps(42, 500*time.Millisecond, adhocsim.Rep{Replications: 2})
+	if len(cells) != 4 {
+		t.Fatalf("Figure7Reps cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Result.Session1Kbps+c.Result.Session2Kbps <= 0 {
+			t.Fatalf("cell %+v has no traffic", c)
+		}
+	}
+}
+
 func TestPublicProfileAndWeather(t *testing.T) {
 	p := adhocsim.DefaultProfile()
 	if p.MedianRange(adhocsim.Rate11) < 25 || p.MedianRange(adhocsim.Rate11) > 35 {

@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	adhocsim -exp all                  # every table and figure
-//	adhocsim -exp fig7 -dur 10s        # one experiment, longer horizon
-//	adhocsim -exp fig3 -packets 400    # denser loss sweep
-//	adhocsim -exp fig3 -csv            # CSV for plotting
+//	adhocsim -exp all                   # every table and figure
+//	adhocsim -exp fig7 -dur 10s         # one experiment, longer horizon
+//	adhocsim -exp fig3 -packets 400     # denser loss sweep
+//	adhocsim -exp fig3 -csv             # CSV for plotting
+//	adhocsim -exp fig7 -replications 8  # mean ± 95% CI over 8 seeds
+//	adhocsim -exp fig3 -json -workers 4 # machine-readable, bounded pool
+//
+// Replications fan out across -workers goroutines (default: all CPUs)
+// through the internal/runner harness; results are bit-identical for
+// any worker count.
 package main
 
 import (
@@ -15,17 +21,42 @@ import (
 	"os"
 	"time"
 
+	"adhocsim/internal/capacity"
 	"adhocsim/internal/experiments"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/runner"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig2, fig3, fig4, table3, fig7, fig9, fig11, fig12, all")
-	seed := flag.Uint64("seed", 42, "root random seed")
+	seed := flag.Uint64("seed", 42, "root random seed; replication seeds derive from it")
 	dur := flag.Duration("dur", 10*time.Second, "measurement horizon for throughput experiments")
 	packets := flag.Int("packets", 200, "probes per distance for loss sweeps")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables (fig3/fig4 only)")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
+	reps := flag.Int("replications", 1, "independent replications per experiment (reported as mean ± 95% CI)")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel runs; 0 = all CPUs")
+	progress := flag.Bool("progress", false, "stream run progress to stderr")
 	flag.Parse()
+
+	rep := experiments.Rep{Replications: *reps, Workers: *workers}
+	if *progress {
+		rep.Progress = runner.ProgressWriter(os.Stderr, "runs")
+	}
+
+	// emit prints v as JSON under -json and the rendered text otherwise;
+	// experiments without a natural JSON value (the parameter table)
+	// always print text.
+	emit := func(text string, v any) {
+		if *jsonOut && v != nil {
+			if err := runner.WriteJSON(os.Stdout, v); err != nil {
+				fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Print(text)
+	}
 
 	ok := false
 	run := func(name string, fn func()) {
@@ -36,14 +67,14 @@ func main() {
 		}
 	}
 
-	run("table1", func() { fmt.Print(experiments.RenderTable1()) })
-	run("table2", func() { fmt.Print(experiments.RenderTable2()) })
+	run("table1", func() { emit(experiments.RenderTable1(), nil) })
+	run("table2", func() { emit(experiments.RenderTable2(), capacity.Table2()) })
 	run("fig2", func() {
-		cells := experiments.Figure2(phy.Rate11, *seed, *dur)
-		fmt.Print(experiments.RenderFigure2(phy.Rate11, cells))
+		cells := experiments.Figure2Reps(phy.Rate11, *seed, *dur, rep)
+		emit(experiments.RenderFigure2(phy.Rate11, cells), cells)
 	})
 	run("fig3", func() {
-		curves := experiments.Figure3(*seed, *packets)
+		curves := experiments.Figure3Reps(*seed, *packets, rep)
 		if *csv {
 			for _, r := range phy.Rates {
 				fmt.Printf("# %v\n%s", r, experiments.CSV(curves[r]))
@@ -56,11 +87,11 @@ func main() {
 			named[r.String()] = curves[r]
 			order = append(order, r.String())
 		}
-		fmt.Print(experiments.RenderLossCurves(
-			"Figure 3. Packet loss rate vs distance", named, order))
+		emit(experiments.RenderLossCurves(
+			"Figure 3. Packet loss rate vs distance", named, order), named)
 	})
 	run("fig4", func() {
-		curves := experiments.Figure4(*seed, *packets)
+		curves := experiments.Figure4Reps(*seed, *packets, rep)
 		if *csv {
 			for _, c := range curves {
 				fmt.Printf("# %s\n%s", c.Day, experiments.CSV(c.Points))
@@ -73,31 +104,32 @@ func main() {
 			named[c.Day] = c.Points
 			order = append(order, c.Day)
 		}
-		fmt.Print(experiments.RenderLossCurves(
-			"Figure 4. 1 Mbit/s transmission range on different days", named, order))
+		emit(experiments.RenderLossCurves(
+			"Figure 4. 1 Mbit/s transmission range on different days", named, order), curves)
 	})
 	run("table3", func() {
-		fmt.Print(experiments.RenderTable3(experiments.Table3(*seed, *packets)))
+		rows := experiments.Table3Reps(*seed, *packets, rep)
+		emit(experiments.RenderTable3(rows), rows)
 	})
 	run("fig7", func() {
-		fmt.Print(experiments.RenderFourNode(
-			"Figure 7. Four stations, 11 Mbit/s, 25/82.5/25 m",
-			"3->4", experiments.Figure7(*seed, *dur)))
+		cells := experiments.Figure7Reps(*seed, *dur, rep)
+		emit(experiments.RenderFourNode(
+			"Figure 7. Four stations, 11 Mbit/s, 25/82.5/25 m", "3->4", cells), cells)
 	})
 	run("fig9", func() {
-		fmt.Print(experiments.RenderFourNode(
-			"Figure 9. Four stations, 2 Mbit/s, 25/92.5/25 m",
-			"3->4", experiments.Figure9(*seed, *dur)))
+		cells := experiments.Figure9Reps(*seed, *dur, rep)
+		emit(experiments.RenderFourNode(
+			"Figure 9. Four stations, 2 Mbit/s, 25/92.5/25 m", "3->4", cells), cells)
 	})
 	run("fig11", func() {
-		fmt.Print(experiments.RenderFourNode(
-			"Figure 11. Symmetric scenario, 11 Mbit/s, 25/62.5/25 m",
-			"4->3", experiments.Figure11(*seed, *dur)))
+		cells := experiments.Figure11Reps(*seed, *dur, rep)
+		emit(experiments.RenderFourNode(
+			"Figure 11. Symmetric scenario, 11 Mbit/s, 25/62.5/25 m", "4->3", cells), cells)
 	})
 	run("fig12", func() {
-		fmt.Print(experiments.RenderFourNode(
-			"Figure 12. Symmetric scenario, 2 Mbit/s, 25/62.5/25 m",
-			"4->3", experiments.Figure12(*seed, *dur)))
+		cells := experiments.Figure12Reps(*seed, *dur, rep)
+		emit(experiments.RenderFourNode(
+			"Figure 12. Symmetric scenario, 2 Mbit/s, 25/62.5/25 m", "4->3", cells), cells)
 	})
 
 	if !ok {

@@ -1,11 +1,16 @@
-// Command sweep runs a generic loss-vs-distance sweep and emits CSV,
-// for exploring configurations beyond the paper's figures (different
-// rates, weather, shadowing, packet sizes).
+// Command sweep runs a generic loss-vs-distance sweep and emits CSV or
+// JSON, for exploring configurations beyond the paper's figures
+// (different rates, weather, shadowing, packet sizes).
 //
 // Usage:
 //
 //	sweep -rate 11 -from 10 -to 80 -step 5 -packets 300 > curve.csv
 //	sweep -rate 1 -weather damp
+//	sweep -rate 11 -replications 8 -workers 4 -json
+//
+// Every (distance, replication) job runs on its own worker through the
+// internal/runner harness; the output is bit-identical for any
+// -workers value.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"adhocsim/internal/experiments"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/runner"
 )
 
 func main() {
@@ -24,9 +30,13 @@ func main() {
 	step := flag.Float64("step", 10, "distance step, meters")
 	packets := flag.Int("packets", 200, "probes per distance")
 	size := flag.Int("size", 512, "probe payload bytes")
-	seed := flag.Uint64("seed", 1, "random seed")
+	seed := flag.Uint64("seed", 1, "root random seed; replication seeds derive from it")
 	sigma := flag.Float64("sigma", -1, "override shadowing σ in dB (-1 keeps default)")
 	weather := flag.String("weather", "clear", "weather profile: clear or damp")
+	reps := flag.Int("replications", 1, "independent probe trains per distance (loss is their mean, with 95% CI)")
+	workers := flag.Int("workers", 0, "worker goroutines; 0 = all CPUs")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of CSV")
+	progress := flag.Bool("progress", false, "stream sweep progress to stderr")
 	flag.Parse()
 
 	var r phy.Rate
@@ -66,15 +76,41 @@ func main() {
 	for d := *from; d <= *to; d += *step {
 		ds = append(ds, d)
 	}
-	points := experiments.RunLossSweep(experiments.LossSweep{
-		Rate:       r,
-		Distances:  ds,
-		Packets:    *packets,
-		PacketSize: *size,
-		Seed:       *seed,
-		Profile:    prof,
-	})
-	fmt.Printf("# rate=%v weather=%s sigma=%.1fdB packets=%d\n", r, *weather, prof.Fading.SigmaDB, *packets)
+	cfg := experiments.LossSweep{
+		Rate:         r,
+		Distances:    ds,
+		Packets:      *packets,
+		PacketSize:   *size,
+		Seed:         *seed,
+		Profile:      prof,
+		Replications: *reps,
+		Workers:      *workers,
+	}
+	if *progress {
+		cfg.Progress = runner.ProgressWriter(os.Stderr, "sweep")
+	}
+	points := experiments.RunLossSweep(cfg)
+	crossing := experiments.CrossingDistance(points, 0.5)
+
+	if *jsonOut {
+		err := runner.WriteJSON(os.Stdout, struct {
+			Rate         string                  `json:"rate"`
+			Weather      string                  `json:"weather"`
+			SigmaDB      float64                 `json:"sigma_db"`
+			Packets      int                     `json:"packets"`
+			Replications int                     `json:"replications"`
+			Seed         uint64                  `json:"seed"`
+			Points       []experiments.LossPoint `json:"points"`
+			Crossing50   float64                 `json:"crossing50_m"`
+		}{r.String(), *weather, prof.Fading.SigmaDB, *packets, *reps, *seed, points, crossing})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("# rate=%v weather=%s sigma=%.1fdB packets=%d replications=%d\n",
+		r, *weather, prof.Fading.SigmaDB, *packets, *reps)
 	fmt.Print(experiments.CSV(points))
-	fmt.Printf("# 50%% crossing: %.1f m\n", experiments.CrossingDistance(points, 0.5))
+	fmt.Printf("# 50%% crossing: %.1f m\n", crossing)
 }

@@ -1,0 +1,3 @@
+module adhocsim
+
+go 1.24

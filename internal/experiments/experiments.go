@@ -25,6 +25,7 @@ const (
 	TCP
 )
 
+// String names the transport.
 func (t Transport) String() string {
 	if t == TCP {
 		return "TCP"

@@ -8,104 +8,59 @@ import (
 
 // This file names the concrete figure configurations of the paper so
 // that tools, tests and benches all run exactly the same scenarios.
+// The classic entry points (Figure2, Figure7, ...) are the
+// single-replication views of the replicated runners in replicate.go;
+// they produce the same results they always did, just in parallel.
 
 // Figure2Cell is one bar pair of Figure 2: ideal vs measured throughput
 // for one (transport, access-mode) combination at 11 Mbit/s.
 type Figure2Cell struct {
-	Transport Transport
-	RTSCTS    bool
-	Ideal     float64 // Mbit/s, Equations (1)/(2)
-	Measured  float64 // Mbit/s, simulated
+	Transport Transport `json:"transport"`
+	RTSCTS    bool      `json:"rtscts"`
+	Ideal     float64   `json:"ideal_mbps"`    // Mbit/s, Equations (1)/(2)
+	Measured  float64   `json:"measured_mbps"` // Mbit/s, simulated (replication mean)
+	// MeasuredCI is the 95% confidence half-width of Measured over
+	// replications; 0 for a single run.
+	MeasuredCI float64 `json:"measured_ci95"`
 }
 
 // Figure2 reproduces the paper's Figure 2 at the given rate (the paper
 // plots 11 Mbit/s and reports that other rates behave alike): four
 // cells, TCP/UDP × basic/RTS-CTS, each with its analytic bound.
 func Figure2(rate phy.Rate, seed uint64, duration time.Duration) []Figure2Cell {
-	var cells []Figure2Cell
-	for _, tr := range []Transport{UDP, TCP} {
-		for _, rts := range []bool{false, true} {
-			res := RunTwoNode(TwoNode{
-				Rate:      rate,
-				Distance:  10,
-				Transport: tr,
-				RTSCTS:    rts,
-				Duration:  duration,
-				Seed:      seed,
-			})
-			cells = append(cells, Figure2Cell{
-				Transport: tr,
-				RTSCTS:    rts,
-				Ideal:     res.IdealMbps,
-				Measured:  res.MeasuredMbps,
-			})
-		}
-	}
-	return cells
+	return Figure2Reps(rate, seed, duration, Rep{})
 }
 
-// FourNodeCell is one bar pair of Figures 7/9/11/12.
+// FourNodeCell is one bar pair of Figures 7/9/11/12. Under replication
+// the Result's goodput and fairness fields hold replication means
+// (counters come from replication 0) and S1CI/S2CI carry the 95%
+// confidence half-widths.
 type FourNodeCell struct {
-	Transport Transport
-	RTSCTS    bool
-	Result    FourNodeResult
-}
-
-// runFourNodeFigure runs the four (transport × access mode) panels of
-// one four-station figure. The four-node figures use the asymmetric
-// testbed profile: the paper attributes the session imbalance to the
-// channel's asymmetric conditions, which the static shadowing component
-// models (see phy.TestbedProfile).
-func runFourNodeFigure(base FourNode, seed uint64, duration time.Duration) []FourNodeCell {
-	var cells []FourNodeCell
-	for _, tr := range []Transport{UDP, TCP} {
-		for _, rts := range []bool{false, true} {
-			cfg := base
-			cfg.Transport = tr
-			cfg.RTSCTS = rts
-			cfg.Seed = seed
-			cfg.Duration = duration
-			if cfg.Profile == nil {
-				cfg.Profile = phy.TestbedProfile()
-			}
-			cells = append(cells, FourNodeCell{
-				Transport: tr,
-				RTSCTS:    rts,
-				Result:    RunFourNode(cfg),
-			})
-		}
-	}
-	return cells
+	Transport Transport      `json:"transport"`
+	RTSCTS    bool           `json:"rtscts"`
+	Result    FourNodeResult `json:"result"`
+	S1CI      float64        `json:"session1_ci95"`
+	S2CI      float64        `json:"session2_ci95"`
 }
 
 // Figure7 reproduces Figures 6–7: 11 Mbit/s, distances 25 / 80–85 / 25 m
 // (we use the midpoint 82.5), sessions S1→S2 and S3→S4.
 func Figure7(seed uint64, duration time.Duration) []FourNodeCell {
-	return runFourNodeFigure(FourNode{
-		Rate: phy.Rate11, D12: 25, D23: 82.5, D34: 25,
-	}, seed, duration)
+	return Figure7Reps(seed, duration, Rep{})
 }
 
 // Figure9 reproduces Figures 8–9: 2 Mbit/s, distances 25 / 90–95 / 25 m.
 func Figure9(seed uint64, duration time.Duration) []FourNodeCell {
-	return runFourNodeFigure(FourNode{
-		Rate: phy.Rate2, D12: 25, D23: 92.5, D34: 25,
-	}, seed, duration)
+	return Figure9Reps(seed, duration, Rep{})
 }
 
 // Figure11 reproduces Figures 10–11: the symmetric scenario (sessions
 // S1→S2 and S4→S3, receivers adjacent) at 11 Mbit/s, 25 / 60–65 / 25 m.
 func Figure11(seed uint64, duration time.Duration) []FourNodeCell {
-	return runFourNodeFigure(FourNode{
-		Rate: phy.Rate11, D12: 25, D23: 62.5, D34: 25,
-		Session2Reversed: true,
-	}, seed, duration)
+	return Figure11Reps(seed, duration, Rep{})
 }
 
 // Figure12 reproduces Figure 12: the symmetric scenario at 2 Mbit/s.
 func Figure12(seed uint64, duration time.Duration) []FourNodeCell {
-	return runFourNodeFigure(FourNode{
-		Rate: phy.Rate2, D12: 25, D23: 62.5, D34: 25,
-		Session2Reversed: true,
-	}, seed, duration)
+	return Figure12Reps(seed, duration, Rep{})
 }

@@ -44,19 +44,46 @@ func RenderTable2() string {
 	return b.String()
 }
 
-// RenderFigure2 prints the ideal-vs-measured bars of Figure 2.
+// RenderFigure2 prints the ideal-vs-measured bars of Figure 2. Cells
+// aggregated over replications get a ± 95% CI column.
 func RenderFigure2(rate phy.Rate, cells []Figure2Cell) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 2. Theoretical vs measured throughput at %v (Mbit/s)\n", rate)
 	fmt.Fprintf(&b, "%-5s %-10s | %-7s | %-8s\n", "proto", "access", "ideal", "measured")
 	for _, c := range cells {
-		fmt.Fprintf(&b, "%-5s %-10s | %7.3f | %8.3f\n", c.Transport, accessName(c.RTSCTS), c.Ideal, c.Measured)
+		fmt.Fprintf(&b, "%-5s %-10s | %7.3f | %8.3f%s\n",
+			c.Transport, accessName(c.RTSCTS), c.Ideal, c.Measured, ciSuffix(c.MeasuredCI, "%.3f"))
 	}
 	return b.String()
 }
 
+// ciSuffix renders " ± x" with the given format when ci is nonzero, so
+// single-run tables keep their classic byte-exact layout.
+func ciSuffix(ci float64, format string) string {
+	if ci == 0 {
+		return ""
+	}
+	return " ± " + fmt.Sprintf(format, ci)
+}
+
 // RenderLossCurves prints Figure 3/4-style loss-vs-distance tables.
+// Replicated curves render each cell as "loss±ci"; single-run tables
+// keep their classic byte-exact layout.
 func RenderLossCurves(title string, curves map[string][]LossPoint, order []string) string {
+	withCI := false
+	for _, name := range order {
+		for _, p := range curves[name] {
+			if p.CI95 > 0 {
+				withCI = true
+			}
+		}
+	}
+	cell := func(p LossPoint) string {
+		if withCI {
+			return fmt.Sprintf("%.3f±%.3f", p.Loss, p.CI95)
+		}
+		return fmt.Sprintf("%.3f", p.Loss)
+	}
 	var b strings.Builder
 	fmt.Fprintln(&b, title)
 	fmt.Fprintf(&b, "%-10s", "dist(m)")
@@ -70,7 +97,7 @@ func RenderLossCurves(title string, curves map[string][]LossPoint, order []strin
 	for i := range curves[order[0]] {
 		fmt.Fprintf(&b, "%-10.0f", curves[order[0]][i].Distance)
 		for _, name := range order {
-			fmt.Fprintf(&b, " %12.3f", curves[name][i].Loss)
+			fmt.Fprintf(&b, " %12s", cell(curves[name][i]))
 		}
 		fmt.Fprintln(&b)
 	}
@@ -92,14 +119,18 @@ func RenderTable3(rows []RangeEstimate) string {
 	return b.String()
 }
 
-// RenderFourNode prints a Figures 7/9/11/12-style panel.
+// RenderFourNode prints a Figures 7/9/11/12-style panel. Cells
+// aggregated over replications get ± 95% CI columns.
 func RenderFourNode(title string, session2 string, cells []FourNodeCell) string {
 	var b strings.Builder
 	fmt.Fprintln(&b, title)
 	fmt.Fprintf(&b, "%-5s %-10s | %10s | %10s | %-8s\n", "proto", "access", "1->2 kbps", session2+" kbps", "fairness")
 	for _, c := range cells {
-		fmt.Fprintf(&b, "%-5s %-10s | %10.0f | %10.0f | %8.2f\n",
-			c.Transport, accessName(c.RTSCTS), c.Result.Session1Kbps, c.Result.Session2Kbps, c.Result.Fairness)
+		fmt.Fprintf(&b, "%-5s %-10s | %10.0f%s | %10.0f%s | %8.2f\n",
+			c.Transport, accessName(c.RTSCTS),
+			c.Result.Session1Kbps, ciSuffix(c.S1CI, "%.0f"),
+			c.Result.Session2Kbps, ciSuffix(c.S2CI, "%.0f"),
+			c.Result.Fairness)
 	}
 	return b.String()
 }
@@ -111,12 +142,13 @@ func accessName(rts bool) string {
 	return "no RTS/CTS"
 }
 
-// CSV renders loss points as CSV for plotting.
+// CSV renders loss points as CSV for plotting. The ci95 column is 0
+// for single-replication sweeps.
 func CSV(points []LossPoint) string {
 	var b strings.Builder
-	fmt.Fprintln(&b, "distance_m,loss,analytic")
+	fmt.Fprintln(&b, "distance_m,loss,analytic,ci95")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%.1f,%.4f,%.4f\n", p.Distance, p.Loss, p.Analytic)
+		fmt.Fprintf(&b, "%.1f,%.4f,%.4f,%.4f\n", p.Distance, p.Loss, p.Analytic, p.CI95)
 	}
 	return b.String()
 }

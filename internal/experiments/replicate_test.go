@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"adhocsim/internal/phy"
+	"adhocsim/internal/runner"
+)
+
+// Determinism gates for the replication harness: aggregates must be
+// byte-identical whatever the worker count, and single replications
+// must reproduce the classic serial runners exactly.
+
+func sweepJSON(t *testing.T, workers int) []byte {
+	t.Helper()
+	pts := RunLossSweep(LossSweep{
+		Rate:         phy.Rate11,
+		Distances:    []float64{20, 30, 40, 50},
+		Packets:      40,
+		Seed:         7,
+		Replications: 3,
+		Workers:      workers,
+	})
+	var buf bytes.Buffer
+	if err := runner.WriteJSON(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSweepWorkersInvariant(t *testing.T) {
+	serial := sweepJSON(t, 1)
+	parallel := sweepJSON(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("workers=1 and workers=8 sweeps diverged:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+func TestReplicateFourNodeWorkersInvariant(t *testing.T) {
+	cfg := FourNode{Duration: time.Second, Seed: 42, Profile: phy.TestbedProfile()}
+	run := func(workers int) []byte {
+		sum := ReplicateFourNode(cfg, Rep{Replications: 4, Workers: workers})
+		var buf bytes.Buffer
+		if err := runner.WriteJSON(&buf, sum); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := run(1), run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("workers=1 and workers=8 aggregates diverged:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+func TestSingleReplicationMatchesClassic(t *testing.T) {
+	cfg := TwoNode{Transport: UDP, Duration: time.Second, Seed: 99}
+	classic := RunTwoNode(cfg)
+	sum := ReplicateTwoNode(cfg, Rep{Replications: 1, Workers: 4})
+	if sum.Runs[0] != classic {
+		t.Fatalf("replication 0 diverged from classic run: %+v vs %+v", sum.Runs[0], classic)
+	}
+	if sum.Mbps.Mean != classic.MeasuredMbps || sum.Mbps.CI95 != 0 {
+		t.Fatalf("single-rep summary %+v does not collapse to the classic value %v",
+			sum.Mbps, classic.MeasuredMbps)
+	}
+	// Replications: 0 means the same thing as 1.
+	if zero := ReplicateTwoNode(cfg, Rep{}); zero.Runs[0] != classic {
+		t.Fatalf("Replications=0 diverged from classic run")
+	}
+}
+
+func TestReplicationsShrinkCI(t *testing.T) {
+	cfg := TwoNode{Transport: UDP, Distance: 40, Duration: time.Second, Seed: 3}
+	sum := ReplicateTwoNode(cfg, Rep{Replications: 6})
+	if sum.Replications != 6 || len(sum.Runs) != 6 {
+		t.Fatalf("replications = %d, runs = %d", sum.Replications, len(sum.Runs))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range sum.Runs {
+		seen[r.SentPackets] = true
+	}
+	// At 40 m the channel is noisy enough that six independent seeds
+	// should not all behave identically.
+	if sum.Mbps.CI95 == 0 && len(seen) == 1 {
+		t.Error("six replications produced zero spread; seeds look correlated")
+	}
+	if sum.Mbps.Mean <= 0 {
+		t.Errorf("mean throughput %v", sum.Mbps.Mean)
+	}
+}
+
+func TestSweepProgressReachesTotal(t *testing.T) {
+	var last, total int
+	RunLossSweep(LossSweep{
+		Rate:         phy.Rate11,
+		Distances:    []float64{20, 40},
+		Packets:      20,
+		Seed:         1,
+		Replications: 2,
+		Workers:      4,
+		Progress: func(d, n int) {
+			last, total = d, n
+		},
+	})
+	if total != 4 || last != 4 {
+		t.Fatalf("progress ended at %d/%d, want 4/4", last, total)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"adhocsim/internal/mac"
 	"adhocsim/internal/node"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/runner"
 )
 
 // This file implements the §3.2 measurements: packet-loss rate as a
@@ -17,9 +18,10 @@ import (
 
 // LossPoint is one sample of a loss-vs-distance curve.
 type LossPoint struct {
-	Distance float64 // meters
-	Loss     float64 // application-level packet loss rate, 0..1
-	Analytic float64 // shadowing-model prediction at this distance
+	Distance float64 `json:"distance_m"` // meters
+	Loss     float64 `json:"loss"`       // application-level packet loss rate, 0..1
+	CI95     float64 `json:"ci95"`       // 95% CI half-width over replications (0 for one run)
+	Analytic float64 `json:"analytic"`   // shadowing-model prediction at this distance
 }
 
 // LossSweep parameterizes a loss-vs-distance measurement.
@@ -31,6 +33,14 @@ type LossSweep struct {
 	PacketSize int
 	Seed       uint64
 	Profile    *phy.Profile
+	// Replications averages every point over this many independently
+	// seeded probe trains; 0 and 1 both mean the classic single train.
+	Replications int
+	// Workers bounds the goroutines that fan (point, replication) jobs
+	// out; 0 selects GOMAXPROCS. The curve never depends on it.
+	Workers int
+	// Progress, when non-nil, is called as jobs complete.
+	Progress func(done, total int)
 }
 
 func (c LossSweep) withDefaults() LossSweep {
@@ -83,50 +93,95 @@ func Figure4Distances() []float64 {
 // count). With retries enabled, retry bursts would oversample bad fading
 // epochs (per-attempt accounting) or convert loss into delay (per-packet
 // accounting), biasing the curve in opposite directions.
+// Sweep points fan out across workers: each (distance, replication)
+// job builds its own Network from a seed derived only from the root
+// seed and its indices, and per-point losses are averaged in
+// replication order, so the curve is bit-identical for any Workers
+// value. Point i keeps its historical root (Seed + i*1000), so
+// single-replication curves match the classic serial output exactly.
 func RunLossSweep(cfg LossSweep) []LossPoint {
-	cfg = cfg.withDefaults()
-	points := make([]LossPoint, 0, len(cfg.Distances))
-	for i, d := range cfg.Distances {
-		net := node.NewNetwork(cfg.Seed+uint64(i)*1000, node.WithProfile(cfg.Profile))
-		macCfg := mac.Config{DataRate: cfg.Rate, ShortRetryLimit: -1, LongRetryLimit: -1}
-		src := net.AddStation(phy.Pos(0, 0), macCfg)
-		dst := net.AddStation(phy.Pos(d, 0), macCfg)
+	return runLossSweeps([]LossSweep{cfg}, cfg.Workers, cfg.Progress)[0]
+}
 
-		var sink app.UDPSink
-		sink.ListenUDP(dst, 9000)
-		cbr := app.NewCBR(net, src, dst.Addr(), 9000, cfg.PacketSize, cfg.Interval)
-		cbr.Start()
-		// Run long enough for every probe plus MAC retries to settle.
-		net.Run(time.Duration(cfg.Packets)*cfg.Interval + time.Second)
-
-		loss := 1.0
-		if cbr.Sent > 0 {
-			loss = 1 - float64(sink.Received)/float64(cbr.Sent)
+// runLossSweeps measures several sweeps through one shared worker
+// pool, so fan-out spans every (sweep, distance, replication) job and
+// a progress meter counts all jobs once. Used by the multi-curve
+// figures (Figure 3's four rates, Figure 4's two days) so no core
+// idles between curves.
+func runLossSweeps(cfgs []LossSweep, workers int, progress func(done, total int)) [][]LossPoint {
+	type job struct{ sweep, point, rep int }
+	var jobs []job
+	reps := make([]int, len(cfgs))
+	for s := range cfgs {
+		cfgs[s] = cfgs[s].withDefaults()
+		reps[s] = cfgs[s].Replications
+		if reps[s] < 1 {
+			reps[s] = 1
 		}
-		if loss < 0 {
-			loss = 0
+		for i := range cfgs[s].Distances {
+			for r := 0; r < reps[s]; r++ {
+				jobs = append(jobs, job{s, i, r})
+			}
 		}
-		points = append(points, LossPoint{
-			Distance: d,
-			Loss:     loss,
-			Analytic: cfg.Profile.LossProbability(cfg.Rate, d),
-		})
 	}
-	return points
+	pool := runner.Config{Workers: workers, Progress: progress}
+	losses := runner.Map(pool, len(jobs), func(k int) float64 {
+		j := jobs[k]
+		c := cfgs[j.sweep]
+		return measureLoss(c, c.Distances[j.point], runner.SeedFor(c.Seed+uint64(j.point)*1000, j.rep))
+	})
+	// Jobs are ordered sweep-major, point-major, replication-minor, so
+	// each point's replications are a contiguous run, folded in
+	// replication order.
+	out := make([][]LossPoint, len(cfgs))
+	idx := 0
+	for s, c := range cfgs {
+		pts := make([]LossPoint, len(c.Distances))
+		for i, d := range c.Distances {
+			sum := runner.Summarize(losses[idx : idx+reps[s]])
+			idx += reps[s]
+			pts[i] = LossPoint{
+				Distance: d,
+				Loss:     sum.Mean,
+				CI95:     sum.CI95,
+				Analytic: c.Profile.LossProbability(c.Rate, d),
+			}
+		}
+		out[s] = pts
+	}
+	return out
+}
+
+// measureLoss runs one probe train of cfg.Packets packets over distance
+// d and returns the per-transmission loss rate.
+func measureLoss(cfg LossSweep, d float64, seed uint64) float64 {
+	net := node.NewNetwork(seed, node.WithProfile(cfg.Profile))
+	macCfg := mac.Config{DataRate: cfg.Rate, ShortRetryLimit: -1, LongRetryLimit: -1}
+	src := net.AddStation(phy.Pos(0, 0), macCfg)
+	dst := net.AddStation(phy.Pos(d, 0), macCfg)
+
+	var sink app.UDPSink
+	sink.ListenUDP(dst, 9000)
+	cbr := app.NewCBR(net, src, dst.Addr(), 9000, cfg.PacketSize, cfg.Interval)
+	cbr.Start()
+	// Run long enough for every probe plus MAC retries to settle.
+	net.Run(time.Duration(cfg.Packets)*cfg.Interval + time.Second)
+
+	loss := 1.0
+	if cbr.Sent > 0 {
+		loss = 1 - float64(sink.Received)/float64(cbr.Sent)
+	}
+	if loss < 0 {
+		loss = 0
+	}
+	return loss
 }
 
 // Figure3 reproduces the paper's Figure 3: one loss-vs-distance curve
-// per data rate.
+// per data rate. Points are measured in parallel; see Figure3Reps for
+// replication.
 func Figure3(seed uint64, packets int) map[phy.Rate][]LossPoint {
-	out := make(map[phy.Rate][]LossPoint, len(phy.Rates))
-	for i, r := range phy.Rates {
-		out[r] = RunLossSweep(LossSweep{
-			Rate:    r,
-			Packets: packets,
-			Seed:    seed + uint64(i)*7919,
-		})
-	}
-	return out
+	return Figure3Reps(seed, packets, Rep{})
 }
 
 // Figure4Curve labels one day's 1 Mbit/s range measurement.
@@ -136,22 +191,10 @@ type Figure4Curve struct {
 }
 
 // Figure4 reproduces the paper's Figure 4: the 1 Mbit/s loss-vs-distance
-// curve measured on two days with different weather.
+// curve measured on two days with different weather. Points are
+// measured in parallel; see Figure4Reps for replication.
 func Figure4(seed uint64, packets int) []Figure4Curve {
-	base := phy.DefaultProfile()
-	var out []Figure4Curve
-	for i, w := range []phy.Weather{phy.WeatherClear, phy.WeatherDamp} {
-		prof := w.Apply(base)
-		pts := RunLossSweep(LossSweep{
-			Rate:      phy.Rate1,
-			Distances: Figure4Distances(),
-			Packets:   packets,
-			Seed:      seed + uint64(i)*104729,
-			Profile:   prof,
-		})
-		out = append(out, Figure4Curve{Day: w.Name, Points: pts})
-	}
-	return out
+	return Figure4Reps(seed, packets, Rep{})
 }
 
 // RangeEstimate is one row of Table 3.
@@ -176,28 +219,7 @@ var paperTable3 = map[phy.Rate]float64{
 // rows reuse the 2 and 1 Mbit/s measurements: control frames travel at
 // basic rates, so their range equals the corresponding data range.
 func Table3(seed uint64, packets int) []RangeEstimate {
-	prof := phy.DefaultProfile()
-	curves := Figure3(seed, packets)
-	var rows []RangeEstimate
-	for i := len(phy.Rates) - 1; i >= 0; i-- {
-		r := phy.Rates[i]
-		rows = append(rows, RangeEstimate{
-			Rate:     r,
-			Measured: CrossingDistance(curves[r], 0.5),
-			Analytic: prof.MedianRange(r),
-			Paper:    paperTable3[r],
-		})
-	}
-	for _, r := range []phy.Rate{phy.Rate2, phy.Rate1} {
-		rows = append(rows, RangeEstimate{
-			Rate:     r,
-			Control:  true,
-			Measured: CrossingDistance(curves[r], 0.5),
-			Analytic: prof.MedianRange(r),
-			Paper:    paperTable3[r],
-		})
-	}
-	return rows
+	return Table3Reps(seed, packets, Rep{})
 }
 
 // CrossingDistance returns the distance at which the loss curve first

@@ -31,6 +31,7 @@ const (
 	TypeBeacon
 )
 
+// String names the frame type.
 func (t Type) String() string {
 	switch t {
 	case TypeData:
@@ -69,6 +70,7 @@ func (a Addr) IsBroadcast() bool { return a == Broadcast }
 // IsGroup reports whether a is a group (multicast or broadcast) address.
 func (a Addr) IsGroup() bool { return a[0]&1 == 1 }
 
+// String renders the address in colon-hex notation.
 func (a Addr) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
 }
@@ -126,6 +128,7 @@ func (f *Frame) Clone() *Frame {
 	return &g
 }
 
+// String renders the frame for traces and test failures.
 func (f *Frame) String() string {
 	switch f.Type {
 	case TypeACK, TypeCTS:

@@ -32,6 +32,7 @@ func AddrFrom(a, b, c, d byte) Addr {
 // HostAddr returns the conventional simulation address 10.0.0.n.
 func HostAddr(n byte) Addr { return AddrFrom(10, 0, 0, n) }
 
+// String renders the address in dotted-quad notation.
 func (a Addr) String() string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
 }

@@ -64,6 +64,7 @@ func (r Rate) Index() int {
 	panic(fmt.Sprintf("phy: invalid rate %d", int(r)))
 }
 
+// String names the rate ("11Mbps", ...).
 func (r Rate) String() string {
 	switch r {
 	case Rate1:

@@ -25,6 +25,7 @@ func (p Position) Add(dx, dy float64) Position {
 	return Position{X: p.X + dx, Y: p.Y + dy}
 }
 
+// String renders the position in meters.
 func (p Position) String() string {
 	return fmt.Sprintf("(%.1f,%.1f)m", p.X, p.Y)
 }

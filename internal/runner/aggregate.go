@@ -1,0 +1,55 @@
+package runner
+
+import (
+	"fmt"
+	"math"
+
+	"adhocsim/internal/stats"
+)
+
+// Summary is the aggregate of one metric over replications: the numbers
+// behind one "mean ± CI" cell of a paper table.
+type Summary struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize folds xs in slice order through a stats.Welford accumulator.
+// Map returns results in job-index order regardless of worker count, so
+// summaries of parallel runs are bit-identical to serial ones.
+func Summarize(xs []float64) Summary {
+	var w stats.Welford
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		w.Add(x)
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	if w.N() == 0 {
+		return Summary{}
+	}
+	s.N = w.N()
+	s.Mean = w.Mean()
+	s.Std = w.Std()
+	s.CI95 = w.CI95()
+	return s
+}
+
+// SummarizeBy maps each element of runs to a float64 metric and
+// summarizes the projection, preserving run order.
+func SummarizeBy[T any](runs []T, metric func(T) float64) Summary {
+	xs := make([]float64, len(runs))
+	for i, r := range runs {
+		xs[i] = metric(r)
+	}
+	return Summarize(xs)
+}
+
+// String renders the summary as "mean ± ci (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95, s.N)
+}

@@ -1,0 +1,30 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON writes v as indented, deterministic JSON: encoding/json
+// emits struct fields in declaration order and sorts map keys, so equal
+// values always serialize to identical bytes — the property the
+// workers-invariance tests and the CLI -json flags rely on.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// ProgressWriter returns a Config.Progress callback that streams a
+// carriage-return progress meter ("label 12/56") to w, finishing the
+// line with a newline on the last job. Pass it os.Stderr in CLIs so the
+// meter never mixes with result output on stdout.
+func ProgressWriter(w io.Writer, label string) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(w, "\r%s %d/%d", label, done, total)
+		if done >= total {
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package runner is the parallel replication harness of the experiment
+// layer: it fans independent simulation runs — replications of one
+// configuration, points of a parameter sweep — out across worker
+// goroutines and aggregates their metrics, without ever letting
+// parallelism change a result.
+//
+// The determinism contract has three parts:
+//
+//   - Jobs are indexed. Each job derives everything random from the root
+//     seed and its own index (SeedFor), never from scheduling order.
+//   - Results are stored by job index, so the returned slice is the same
+//     whatever the worker count or completion order.
+//   - Aggregation (Summarize) folds results in index order, so streaming
+//     statistics such as Welford means are bit-identical too.
+//
+// Consequently a run's output depends only on (root seed, job count):
+// -workers=1 and -workers=8 produce byte-identical JSON.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"adhocsim/internal/sim"
+)
+
+// Config parameterizes a fan-out.
+type Config struct {
+	// Workers is the number of worker goroutines; 0 or negative selects
+	// runtime.GOMAXPROCS(0), i.e. one worker per available CPU.
+	Workers int
+	// Progress, when non-nil, is called as jobs complete with the number
+	// of finished jobs and the total. Calls are serialized and done is
+	// strictly increasing, so it can drive a progress meter directly.
+	Progress func(done, total int)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) across the configured workers and
+// returns the results indexed by i. fn must be self-contained: a
+// simulation replication builds its own Network, so concurrent calls
+// share no mutable state.
+func Map[T any](cfg Config, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	workers := cfg.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+			if cfg.Progress != nil {
+				cfg.Progress(i+1, n)
+			}
+		}
+		return out
+	}
+
+	var next, done atomic.Int64
+	var mu sync.Mutex // serializes Progress
+	reported := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+				d := int(done.Add(1))
+				if cfg.Progress != nil {
+					mu.Lock()
+					// Completions race on the counter; only ever report a
+					// new high-water mark so done stays strictly increasing.
+					if d > reported {
+						reported = d
+						cfg.Progress(d, n)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SeedFor derives the root seed of replication rep of a run rooted at
+// root. Replication 0 is root itself, so a single-replication run is
+// bit-identical to the classic serial experiments; every later
+// replication gets an independent stream via sim.Source.Hash64
+// (SplitMix64), so seeds never collide with the root-adjacent seeds
+// experiments traditionally pick by hand (root+1, root+1000, ...).
+func SeedFor(root uint64, rep int) uint64 {
+	if rep == 0 {
+		return root
+	}
+	return sim.NewSource(root).Hash64(uint64(rep))
+}

@@ -52,6 +52,7 @@ func (w *Welford) CI95() float64 {
 	return 1.96 * w.Std() / math.Sqrt(float64(w.n))
 }
 
+// String renders the accumulator as "mean ± ci (n=N)".
 func (w *Welford) String() string {
 	return fmt.Sprintf("%.4g ± %.2g (n=%d)", w.Mean(), w.CI95(), w.n)
 }
