@@ -39,6 +39,7 @@ import (
 	"adhocsim/internal/node"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/runner"
+	"adhocsim/internal/scenario"
 )
 
 // PHY layer: rates, positions, radio profiles, weather.
@@ -242,4 +243,53 @@ var (
 	Figure11Reps      = experiments.Figure11Reps
 	Figure12Reps      = experiments.Figure12Reps
 	Table3Reps        = experiments.Table3Reps
+)
+
+// Declarative scenario layer (internal/scenario): one JSON-able Spec
+// describes topology, traffic matrix, per-station configuration and
+// mobility; one engine compiles and runs it. The classic TwoNode and
+// FourNode experiments are presets that compile to Specs.
+type (
+	// Scenario is a declarative experiment specification.
+	Scenario = scenario.Spec
+	// ScenarioTopology places the stations (explicit positions or the
+	// line/grid/ring/random-uniform generators).
+	ScenarioTopology = scenario.Topology
+	// ScenarioFlow is one src→dst session of the traffic matrix.
+	ScenarioFlow = scenario.Flow
+	// ScenarioResult is one scenario run's per-flow and per-station
+	// outcome.
+	ScenarioResult = scenario.Result
+	// ScenarioSummary aggregates a replicated scenario.
+	ScenarioSummary = scenario.Summary
+	// ScenarioInstance is a compiled, not-yet-run scenario for callers
+	// that drive the simulation themselves.
+	ScenarioInstance = scenario.Instance
+	// ScenarioMAC is the JSON-able MAC parameter block of a Spec.
+	ScenarioMAC = scenario.MACParams
+	// ScenarioStationOverride replaces the network-wide MAC/profile for
+	// one station.
+	ScenarioStationOverride = scenario.StationOverride
+	// ScenarioMobility attaches a movement model to stations.
+	ScenarioMobility = scenario.Mobility
+)
+
+// ScenarioDuration converts a time.Duration to the Spec's JSON-friendly
+// duration type (marshals as "10s"-style strings).
+func ScenarioDuration(d time.Duration) scenario.Duration { return scenario.Duration(d) }
+
+// Scenario entry points (see internal/scenario for documentation).
+var (
+	// RunScenario compiles and runs a Spec over its horizon.
+	RunScenario = scenario.Run
+	// BuildScenario compiles a Spec without running it.
+	BuildScenario = scenario.Build
+	// ReplicateScenario averages a Spec over N independent seeds.
+	ReplicateScenario = scenario.Replicate
+	// ParseScenario decodes and validates a JSON scenario spec.
+	ParseScenario = scenario.ParseSpec
+	// ScenarioPresets lists the built-in scenario library.
+	ScenarioPresets = scenario.Presets
+	// ScenarioPreset returns one built-in scenario by name.
+	ScenarioPreset = scenario.Preset
 )

@@ -1,5 +1,6 @@
 // Command adhocsim runs the paper's experiments end to end and prints
-// their tables and figure data.
+// their tables and figure data, and runs arbitrary declarative
+// scenarios from JSON specs or the built-in preset library.
 //
 // Usage:
 //
@@ -10,6 +11,10 @@
 //	adhocsim -exp fig7 -replications 8  # mean ± 95% CI over 8 seeds
 //	adhocsim -exp fig3 -json -workers 4 # machine-readable, bounded pool
 //
+//	adhocsim -list-scenarios            # the built-in scenario library
+//	adhocsim -scenario hidden-terminal  # run a preset by name
+//	adhocsim -scenario spec.json -replications 8 -json
+//
 // Replications fan out across -workers goroutines (default: all CPUs)
 // through the internal/runner harness; results are bit-identical for
 // any worker count.
@@ -19,12 +24,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"adhocsim/internal/capacity"
 	"adhocsim/internal/experiments"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/runner"
+	"adhocsim/internal/scenario"
 )
 
 func main() {
@@ -37,7 +44,34 @@ func main() {
 	reps := flag.Int("replications", 1, "independent replications per experiment (reported as mean ± 95% CI)")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel runs; 0 = all CPUs")
 	progress := flag.Bool("progress", false, "stream run progress to stderr")
+	scen := flag.String("scenario", "", "run a declarative scenario: a spec .json file or a preset name (see -list-scenarios)")
+	listScen := flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
 	flag.Parse()
+
+	if *listScen {
+		listScenarios()
+		return
+	}
+	if *scen != "" {
+		// -seed and -dur override the spec's embedded values only when the
+		// user set them explicitly; otherwise the spec/preset wins. Flags
+		// that only apply to the paper experiments are called out rather
+		// than silently dropped.
+		var seedOv *uint64
+		var durOv *time.Duration
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				seedOv = seed
+			case "dur":
+				durOv = dur
+			case "exp", "csv", "packets":
+				fmt.Fprintf(os.Stderr, "adhocsim: -%s has no effect in -scenario mode\n", f.Name)
+			}
+		})
+		runScenario(*scen, *reps, *workers, *jsonOut, *progress, seedOv, durOv)
+		return
+	}
 
 	rep := experiments.Rep{Replications: *reps, Workers: *workers}
 	if *progress {
@@ -137,4 +171,63 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// listScenarios prints the preset library, one name per line with its
+// description, plus the valid topology kinds and profile names for spec
+// authors.
+func listScenarios() {
+	fmt.Println("Built-in scenarios (run with -scenario <name>):")
+	for _, p := range scenario.Presets() {
+		fmt.Printf("  %-18s %s\n", p.Name, p.Description)
+	}
+	fmt.Printf("\nTopology kinds for JSON specs: %s\n", strings.Join(scenario.TopologyKinds(), ", "))
+	fmt.Printf("Radio profiles: %s\n", strings.Join(scenario.ProfileNames(), ", "))
+}
+
+// runScenario resolves ref as a spec file (when it exists or ends in
+// .json) or a preset name, applies any explicit -seed/-dur overrides,
+// runs it with replication, and prints the summary.
+func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *uint64, dur *time.Duration) {
+	spec, err := loadScenario(ref)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+		os.Exit(2)
+	}
+	if seed != nil {
+		spec.Seed = *seed
+	}
+	if dur != nil {
+		spec.Duration = scenario.Duration(*dur)
+	}
+	var prog func(done, total int)
+	if progress {
+		prog = runner.ProgressWriter(os.Stderr, "runs")
+	}
+	sum, err := scenario.Replicate(spec, reps, workers, prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		if err := runner.WriteJSON(os.Stdout, sum); err != nil {
+			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(scenario.Render(sum))
+}
+
+// loadScenario resolves a -scenario argument: an existing regular file
+// (or anything .json) parses as a spec; otherwise it is a preset name.
+func loadScenario(ref string) (scenario.Spec, error) {
+	if fi, err := os.Stat(ref); (err == nil && fi.Mode().IsRegular()) || strings.HasSuffix(ref, ".json") {
+		data, err := os.ReadFile(ref)
+		if err != nil {
+			return scenario.Spec{}, err
+		}
+		return scenario.ParseSpec(data)
+	}
+	return scenario.Preset(ref)
 }

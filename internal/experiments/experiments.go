@@ -2,17 +2,20 @@
 // paper's evaluation, built on the full simulated stack. Each runner is
 // deterministic given its seed; the cmd/adhocsim tool and the root-level
 // benchmarks print their outputs in the paper's layout.
+//
+// Since the scenario-engine refactor the TwoNode and FourNode runners
+// are thin presets: each compiles to a scenario.Spec (see the Spec
+// methods) and runs through scenario.Run. Golden tests pin their outputs
+// bit-for-bit to the pre-refactor hand-rolled implementations.
 package experiments
 
 import (
 	"time"
 
-	"adhocsim/internal/app"
 	"adhocsim/internal/capacity"
 	"adhocsim/internal/mac"
-	"adhocsim/internal/node"
 	"adhocsim/internal/phy"
-	"adhocsim/internal/stats"
+	"adhocsim/internal/scenario"
 )
 
 // Transport selects the workload of a session: CBR/UDP or ftp/TCP, the
@@ -33,12 +36,13 @@ func (t Transport) String() string {
 	return "UDP"
 }
 
-// rtsThreshold maps the paper's two access modes onto the MAC config.
-func rtsThreshold(rtscts bool) int {
-	if rtscts {
-		return mac.RTSAlways + 1 // any MSDU ≥ 1 byte is protected
+// scenarioTransport maps the experiment transport onto the scenario
+// layer's name.
+func (t Transport) scenarioTransport() scenario.Transport {
+	if t == TCP {
+		return scenario.TransportTCP
 	}
-	return mac.RTSNever
+	return scenario.TransportUDP
 }
 
 // TwoNode parameterizes the single-session experiments of §3.1
@@ -84,40 +88,50 @@ type TwoNodeResult struct {
 	Drops        uint64
 }
 
+// Spec compiles the experiment into the declarative scenario it always
+// was: two stations on a line, one saturating flow. The RateController,
+// being a live object, rides along as a MACHook on the sender.
+func (c TwoNode) Spec() scenario.Spec {
+	c = c.withDefaults()
+	spec := scenario.Spec{
+		Name:          "paper-two-node",
+		Description:   "§3.1 single saturating session between two stations",
+		Seed:          c.Seed,
+		Duration:      scenario.Duration(c.Duration),
+		MSS:           c.PacketSize,
+		CustomProfile: c.Profile,
+		Topology:      scenario.Topology{Kind: scenario.KindLine, Spacings: []float64{c.Distance}},
+		MAC:           scenario.MACParams{RateMbps: c.Rate.Mbps(), RTSCTS: c.RTSCTS},
+		Flows: []scenario.Flow{{
+			Src: 0, Dst: 1,
+			Transport:  c.Transport.scenarioTransport(),
+			PacketSize: c.PacketSize,
+			Port:       9000,
+		}},
+	}
+	if rc := c.RateController; rc != nil {
+		spec.MACHook = func(station int, cfg *mac.Config) {
+			if station == 0 {
+				cfg.RateControl = rc
+			}
+		}
+	}
+	return spec
+}
+
 // RunTwoNode runs one saturating session between two stations
 // cfg.Distance apart and reports goodput against the analytic maximum.
 func RunTwoNode(cfg TwoNode) TwoNodeResult {
 	cfg = cfg.withDefaults()
-	net := newNet(cfg.Seed, cfg.Profile, cfg.PacketSize)
-	macCfg := mac.Config{DataRate: cfg.Rate, RTSThreshold: rtsThreshold(cfg.RTSCTS)}
-	srcCfg := macCfg
-	srcCfg.RateControl = cfg.RateController
-	src := net.AddStation(phy.Pos(0, 0), srcCfg)
-	dst := net.AddStation(phy.Pos(cfg.Distance, 0), macCfg)
-
-	res := TwoNodeResult{IdealMbps: idealFor(cfg)}
-	switch cfg.Transport {
-	case UDP:
-		var sink app.UDPSink
-		sink.ListenUDP(dst, 9000)
-		cbr := app.NewCBR(net, src, dst.Addr(), 9000, cfg.PacketSize, 0)
-		cbr.Start()
-		net.Run(cfg.Duration)
-		res.MeasuredMbps = sink.ThroughputMbps(cfg.Duration)
-		res.SentPackets = cbr.Sent
-		res.RcvdPackets = sink.Received
-	case TCP:
-		var sink app.TCPSink
-		sink.ListenTCP(dst, 9000)
-		bulk := app.StartBulk(net, src, dst.Addr(), 9000, cfg.PacketSize)
-		net.Run(cfg.Duration)
-		res.MeasuredMbps = sink.ThroughputMbps(cfg.Duration)
-		res.SentPackets = bulk.Conn().Stats.SegsSent
-		res.RcvdPackets = sink.Bytes / uint64(cfg.PacketSize)
+	flow := scenario.MustRun(cfg.Spec()).Flows[0]
+	return TwoNodeResult{
+		IdealMbps:    idealFor(cfg),
+		MeasuredMbps: flow.GoodputMbps,
+		SentPackets:  flow.AppSent,
+		RcvdPackets:  flow.Received,
+		Retries:      flow.Retries,
+		Drops:        flow.TxDrops,
 	}
-	res.Retries = src.MAC.Counters.Retries()
-	res.Drops = src.MAC.Counters.TxDrops
-	return res
 }
 
 // idealFor evaluates the analytic model with the run's parameters. TCP
@@ -180,67 +194,60 @@ func RunFourNode(cfg FourNode) FourNodeResult {
 	return RunFourNodeWith(cfg, nil)
 }
 
+// Spec compiles the experiment into its declarative form: four stations
+// on a line with the paper's hop distances, two concurrent flows.
+func (c FourNode) Spec() scenario.Spec {
+	c = c.withDefaults()
+	session2 := scenario.Flow{
+		Src: 2, Dst: 3,
+		Transport:  c.Transport.scenarioTransport(),
+		PacketSize: c.PacketSize,
+		Port:       9000,
+	}
+	if c.Session2Reversed {
+		session2.Src, session2.Dst = 3, 2
+	}
+	return scenario.Spec{
+		Name:          "paper-four-node",
+		Description:   "§3.3 two concurrent sessions on a four-station line",
+		Seed:          c.Seed,
+		Duration:      scenario.Duration(c.Duration),
+		MSS:           c.PacketSize,
+		CustomProfile: c.Profile,
+		Topology: scenario.Topology{
+			Kind:     scenario.KindLine,
+			Spacings: []float64{c.D12, c.D23, c.D34},
+		},
+		MAC: scenario.MACParams{RateMbps: c.Rate.Mbps(), RTSCTS: c.RTSCTS},
+		Flows: []scenario.Flow{
+			{
+				Src: 0, Dst: 1,
+				Transport:  c.Transport.scenarioTransport(),
+				PacketSize: c.PacketSize,
+				Port:       9000,
+			},
+			session2,
+		},
+	}
+}
+
 // RunFourNodeWith is RunFourNode with a MAC-config hook applied to every
 // station, used by the ablation benches (EIFS off, response-deferral
 // quirk on, ...).
 func RunFourNodeWith(cfg FourNode, mutate func(*mac.Config)) FourNodeResult {
-	cfg = cfg.withDefaults()
-	net := newNet(cfg.Seed, cfg.Profile, cfg.PacketSize)
-	macCfg := mac.Config{DataRate: cfg.Rate, RTSThreshold: rtsThreshold(cfg.RTSCTS)}
+	spec := cfg.Spec()
 	if mutate != nil {
-		mutate(&macCfg)
+		spec.MACHook = func(_ int, c *mac.Config) { mutate(c) }
 	}
-
-	s1 := net.AddStation(phy.Pos(0, 0), macCfg)
-	s2 := net.AddStation(phy.Pos(cfg.D12, 0), macCfg)
-	s3 := net.AddStation(phy.Pos(cfg.D12+cfg.D23, 0), macCfg)
-	s4 := net.AddStation(phy.Pos(cfg.D12+cfg.D23+cfg.D34, 0), macCfg)
-
-	tx2, rx2 := s3, s4
-	if cfg.Session2Reversed {
-		tx2, rx2 = s4, s3
+	run := scenario.MustRun(spec)
+	f1, f2 := run.Flows[0], run.Flows[1]
+	return FourNodeResult{
+		Session1Kbps: f1.GoodputKbps,
+		Session2Kbps: f2.GoodputKbps,
+		Fairness:     run.Fairness,
+		EIFS1:        f1.EIFSDeferrals,
+		EIFS2:        f2.EIFSDeferrals,
+		Retries1:     f1.Retries,
+		Retries2:     f2.Retries,
 	}
-
-	var bytes1, bytes2 func() uint64
-	switch cfg.Transport {
-	case UDP:
-		var sink1, sink2 app.UDPSink
-		sink1.ListenUDP(s2, 9000)
-		sink2.ListenUDP(rx2, 9000)
-		app.NewCBR(net, s1, s2.Addr(), 9000, cfg.PacketSize, 0).Start()
-		app.NewCBR(net, tx2, rx2.Addr(), 9000, cfg.PacketSize, 0).Start()
-		bytes1 = func() uint64 { return sink1.Bytes }
-		bytes2 = func() uint64 { return sink2.Bytes }
-	case TCP:
-		var sink1, sink2 app.TCPSink
-		sink1.ListenTCP(s2, 9000)
-		sink2.ListenTCP(rx2, 9000)
-		app.StartBulk(net, s1, s2.Addr(), 9000, cfg.PacketSize)
-		app.StartBulk(net, tx2, rx2.Addr(), 9000, cfg.PacketSize)
-		bytes1 = func() uint64 { return sink1.Bytes }
-		bytes2 = func() uint64 { return sink2.Bytes }
-	}
-	net.Run(cfg.Duration)
-
-	r := FourNodeResult{
-		Session1Kbps: stats.Kbps(bytes1(), cfg.Duration),
-		Session2Kbps: stats.Kbps(bytes2(), cfg.Duration),
-		EIFS1:        s1.MAC.Counters.EIFSDeferrals,
-		EIFS2:        tx2.MAC.Counters.EIFSDeferrals,
-		Retries1:     s1.MAC.Counters.Retries(),
-		Retries2:     tx2.MAC.Counters.Retries(),
-	}
-	r.Fairness = stats.JainFairness(r.Session1Kbps, r.Session2Kbps)
-	return r
-}
-
-// newNet builds a Network with the experiment conventions: TCP MSS equal
-// to the application packet size, so one packet rides in one segment as
-// in the paper's measurements.
-func newNet(seed uint64, profile *phy.Profile, packetSize int) *node.Network {
-	opts := []node.Option{node.WithMSS(packetSize)}
-	if profile != nil {
-		opts = append(opts, node.WithProfile(profile))
-	}
-	return node.NewNetwork(seed, opts...)
 }

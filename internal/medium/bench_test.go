@@ -1,0 +1,50 @@
+package medium
+
+import (
+	"testing"
+	"time"
+
+	"adhocsim/internal/phy"
+	"adhocsim/internal/sim"
+)
+
+// BenchmarkMedium64Stations measures the per-transmission cost of the
+// broadcast medium with 64 radios spread over a 5.6 km diagonal: an 8×8
+// grid with 700 m spacing, so most transmitter/receiver pairs are far
+// below the noise floor. Before the irrelevant-receiver cut in
+// Radio.Transmit, every transmission scheduled two events at all 63
+// other radios; with it, arrivals ≥ irrelevantMarginDB under the noise
+// floor are never scheduled, and the event count per transmission drops
+// to the handful of radios the frame can physically matter to.
+//
+// This bench is the first entry of the repository's bench trajectory
+// (BENCH_PR2.json at the root).
+func BenchmarkMedium64Stations(b *testing.B) {
+	const side = 8
+	prof := phy.DefaultProfile()
+	prof.Fading.SigmaDB = 0 // geometry-only: keep the cut deterministic
+
+	sched := sim.NewScheduler()
+	m := New(sched, sim.NewSource(1))
+	radios := make([]*Radio, 0, side*side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			h := &mockHandler{}
+			r := m.AddRadio(uint32(len(radios)+1), phy.Pos(float64(x)*700, float64(y)*700), prof, h)
+			radios = append(radios, r)
+		}
+	}
+
+	f := dataFrame(1, 2, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Every radio transmits one frame; rotating start times keep the
+		// medium from ever seeing two frames from one radio in flight.
+		for _, r := range radios {
+			r.Transmit(f, phy.Rate11)
+			sched.RunUntil(sched.Now() + 10*time.Millisecond)
+		}
+	}
+	b.ReportMetric(float64(sched.Fired())/float64(b.N*len(radios)), "events/tx")
+}

@@ -42,6 +42,18 @@ type Handler interface {
 	TxDone()
 }
 
+// irrelevantMarginDB is how far under a receiver's noise floor an
+// arrival must be before the medium stops simulating it at that
+// receiver. At 20 dB each skipped arrival carries at most 1% of the
+// noise power, so any CCA, preamble-lock, or SINR decision would need
+// on the order of a hundred such arrivals overlapping at one receiver
+// before the summed skipped energy rivals the noise floor itself. This
+// is a deliberate approximation: it trades exactness in that
+// pathological regime (dozens of concurrent transmitters all barely
+// under the floor at the same radio) for O(radios-within-earshot)
+// event scheduling instead of O(all radios) per transmission.
+const irrelevantMarginDB = 20
+
 // Medium is the shared broadcast channel connecting a set of radios.
 type Medium struct {
 	sched *sim.Scheduler
@@ -180,6 +192,14 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 		rx := rx
 		d := phy.Dist(r.pos, rx.pos)
 		p := r.profile.RxPowerDBm(r.m.src, uint64(r.id), uint64(rx.id), d, now)
+		if p < rx.profile.NoiseFloorDBm-irrelevantMarginDB {
+			// The frame arrives so far under this receiver's noise floor
+			// that it cannot shift any CCA, lock, or SINR decision; skip
+			// the arrival bookkeeping entirely. In sparse wide-area
+			// topologies this turns the per-transmission event cost from
+			// O(radios) into O(radios within earshot).
+			continue
+		}
 		r.m.sched.At(now+phy.PropDelay, func() { rx.arrivalStart(tx, p) })
 		r.m.sched.At(now+air+phy.PropDelay, func() { rx.arrivalEnd(tx) })
 	}

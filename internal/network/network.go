@@ -32,6 +32,24 @@ func AddrFrom(a, b, c, d byte) Addr {
 // HostAddr returns the conventional simulation address 10.0.0.n.
 func HostAddr(n byte) Addr { return AddrFrom(10, 0, 0, n) }
 
+// MaxStationID is the largest station identifier representable inside
+// the 10.0.0.0/8 simulation network (24 host bits, minus the network
+// and broadcast conventions).
+const MaxStationID = 1<<24 - 2
+
+// StationAddr returns the simulation address of station id inside
+// 10.0.0.0/8: for ids below 256 it coincides with HostAddr(id); larger
+// ids spill into the higher host octets (station 256 is 10.0.1.0), so
+// addresses stay unique for up to 2^24-2 stations. Ids outside (0,
+// MaxStationID] panic: a colliding address would silently cross-deliver
+// traffic between stations.
+func StationAddr(id uint32) Addr {
+	if id == 0 || id > MaxStationID {
+		panic(fmt.Sprintf("network: station id %d outside 10/8 host space", id))
+	}
+	return Addr(10<<24 | id)
+}
+
 // String renders the address in dotted-quad notation.
 func (a Addr) String() string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))

@@ -26,8 +26,9 @@ type Station struct {
 	TCP   *transport.TCP
 }
 
-// Addr returns the station's network address (10.0.0.<id>).
-func (s *Station) Addr() network.Addr { return network.HostAddr(byte(s.ID)) }
+// Addr returns the station's network address inside 10.0.0.0/8
+// (10.0.0.<id> for ids below 256; higher ids use the upper host octets).
+func (s *Station) Addr() network.Addr { return network.StationAddr(s.ID) }
 
 // HWAddr returns the station's MAC address.
 func (s *Station) HWAddr() frame.Addr { return frame.AddrFromID(s.ID) }
@@ -73,16 +74,26 @@ func NewNetwork(seed uint64, opts ...Option) *Network {
 // every station knows every other station's link-layer address, the
 // testbed equivalent of a warm ARP cache.
 func (n *Network) AddStation(pos phy.Position, cfg mac.Config) *Station {
+	return n.AddStationProfile(pos, cfg, nil)
+}
+
+// AddStationProfile is AddStation with a per-station radio profile
+// (heterogeneous NICs, per-station weather). A nil profile selects the
+// network's shared profile, making it exactly AddStation.
+func (n *Network) AddStationProfile(pos phy.Position, cfg mac.Config, profile *phy.Profile) *Station {
+	if profile == nil {
+		profile = n.Profile
+	}
 	id := uint32(len(n.Stations) + 1)
-	if id > 250 {
+	if id > network.MaxStationID {
 		panic(fmt.Sprintf("node: too many stations (%d)", id))
 	}
 	cfg.Address = frame.AddrFromID(id)
 	m := mac.New(n.Sched, n.Source, cfg)
 	st := &Station{ID: id, MAC: m}
-	st.Radio = n.Medium.AddRadio(id, pos, n.Profile, m)
+	st.Radio = n.Medium.AddRadio(id, pos, profile, m)
 	m.Attach(st.Radio)
-	st.Net = network.NewStack(m, network.HostAddr(byte(id)))
+	st.Net = network.NewStack(m, network.StationAddr(id))
 	st.UDP = transport.NewUDP(st.Net)
 	st.TCP = transport.NewTCP(n.Sched, n.Source, st.Net, n.MSS)
 

@@ -156,3 +156,53 @@ func TestDeterministicNetworkRuns(t *testing.T) {
 		t.Fatal("identical seeds diverged")
 	}
 }
+
+// TestStationAddrsUniqueBeyond256 is the regression test for the Addr()
+// truncation bug: station IDs used to be narrowed to one byte, so
+// stations 1 and 257 silently shared 10.0.0.1 and cross-delivered
+// traffic.
+func TestStationAddrsUniqueBeyond256(t *testing.T) {
+	n := NewNetwork(1)
+	seen := make(map[network.Addr]uint32)
+	for i := 0; i < 300; i++ {
+		st := n.AddStation(phy.Pos(float64(i), 0), mac.Config{})
+		if prev, dup := seen[st.Addr()]; dup {
+			t.Fatalf("station %d shares address %v with station %d", st.ID, st.Addr(), prev)
+		}
+		seen[st.Addr()] = st.ID
+	}
+	if got := n.Stations[256].Addr(); got == network.HostAddr(1) {
+		t.Fatalf("station 257 truncated back to %v", got)
+	}
+	if got, want := n.Stations[255].Addr().String(), "10.0.1.0"; got != want {
+		t.Fatalf("station 256 address = %s, want %s", got, want)
+	}
+}
+
+// TestStationAddrOverflowPanics pins the overflow behaviour: ids outside
+// the 10/8 host space must panic rather than wrap.
+func TestStationAddrOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StationAddr(2^24) did not panic")
+		}
+	}()
+	network.StationAddr(1 << 24)
+}
+
+// TestAddStationProfileOverride checks heterogeneous per-station radio
+// profiles: a nil profile selects the network default, a non-nil one
+// sticks to that station's radio alone.
+func TestAddStationProfileOverride(t *testing.T) {
+	n := NewNetwork(1)
+	hot := phy.DefaultProfile()
+	hot.TxPowerDBm += 10
+	a := n.AddStationProfile(phy.Pos(0, 0), mac.Config{}, hot)
+	b := n.AddStation(phy.Pos(10, 0), mac.Config{})
+	if a.Radio.Profile() != hot {
+		t.Fatal("override profile not applied")
+	}
+	if b.Radio.Profile() != n.Profile {
+		t.Fatal("default profile not applied to plain AddStation")
+	}
+}

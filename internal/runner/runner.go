@@ -98,6 +98,15 @@ func Map[T any](cfg Config, n int, fn func(i int) T) []T {
 	return out
 }
 
+// Replicate fans n independently seeded replications of fn out across
+// the configured workers: replication i runs fn(SeedFor(root, i)), and
+// the results come back in replication order whatever the worker count.
+// It is the one-liner behind every "mean ± CI over N seeds" aggregate in
+// the experiment and scenario layers.
+func Replicate[T any](cfg Config, root uint64, n int, fn func(seed uint64) T) []T {
+	return Map(cfg, n, func(i int) T { return fn(SeedFor(root, i)) })
+}
+
 // SeedFor derives the root seed of replication rep of a run rooted at
 // root. Replication 0 is root itself, so a single-replication run is
 // bit-identical to the classic serial experiments; every later

@@ -1,0 +1,303 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"adhocsim/internal/app"
+	"adhocsim/internal/node"
+	"adhocsim/internal/phy"
+	"adhocsim/internal/stats"
+	"adhocsim/internal/transport"
+)
+
+// Instance is a compiled scenario: a live network plus the workload
+// endpoints, ready to run. Callers that need more than Run's metrics —
+// extra monitors, mid-run inspection, custom horizons — Build the
+// instance and drive it themselves.
+type Instance struct {
+	Spec Spec
+	Net  *node.Network
+
+	// udpSinks/tcpSinks/cbrs/bulks are indexed by flow.
+	udpSinks []*app.UDPSink
+	tcpSinks []*app.TCPSink
+	cbrs     []*app.CBR
+	bulks    []*app.Bulk
+}
+
+// Build validates the spec and compiles it into a live network with all
+// sinks attached and all sources started at time zero.
+//
+// The construction order is part of the determinism contract (and of
+// the golden equivalence with the classic experiment runners): stations
+// in topology order, then every flow's sink in flow order, then every
+// flow's source in flow order.
+func Build(spec Spec) (*Instance, error) {
+	spec = spec.withDefaults()
+	positions, err := spec.check()
+	if err != nil {
+		return nil, err
+	}
+
+	netProfile := spec.CustomProfile
+	if netProfile == nil {
+		if netProfile, err = profileByName(spec.Profile); err != nil {
+			return nil, err
+		}
+	}
+
+	mss := spec.MSS
+	if mss == 0 {
+		mss = transport.DefaultMSS
+		for _, f := range spec.Flows {
+			if f.Transport == TransportTCP {
+				mss = f.PacketSize
+				break
+			}
+		}
+	}
+
+	opts := []node.Option{node.WithMSS(mss)}
+	if netProfile != nil {
+		opts = append(opts, node.WithProfile(netProfile))
+	}
+	net := node.NewNetwork(spec.Seed, opts...)
+
+	overrides := make(map[int]StationOverride, len(spec.Stations))
+	for _, ov := range spec.Stations {
+		overrides[ov.Station] = ov
+	}
+	for i, pos := range positions {
+		params := spec.MAC
+		var stProfile *phy.Profile
+		if ov, ok := overrides[i]; ok {
+			if ov.MAC != nil {
+				params = *ov.MAC
+			}
+			if ov.Profile != "" {
+				if stProfile, err = profileByName(ov.Profile); err != nil {
+					return nil, err
+				}
+				// profileByName returns nil for "default" (meaning "let the
+				// network choose"), but a per-station override of "default"
+				// must actually pin DefaultProfile — otherwise it would
+				// silently inherit the network-wide profile instead.
+				if stProfile == nil {
+					stProfile = phy.DefaultProfile()
+				}
+			}
+		}
+		cfg, err := params.Config()
+		if err != nil {
+			return nil, err
+		}
+		if spec.MACHook != nil {
+			spec.MACHook(i, &cfg)
+		}
+		net.AddStationProfile(pos, cfg, stProfile)
+	}
+
+	inst := &Instance{
+		Spec:     spec,
+		Net:      net,
+		udpSinks: make([]*app.UDPSink, len(spec.Flows)),
+		tcpSinks: make([]*app.TCPSink, len(spec.Flows)),
+		cbrs:     make([]*app.CBR, len(spec.Flows)),
+		bulks:    make([]*app.Bulk, len(spec.Flows)),
+	}
+	for i, f := range spec.Flows {
+		dst := net.Stations[f.Dst]
+		switch f.Transport {
+		case TransportUDP:
+			sink := &app.UDPSink{}
+			sink.ListenUDP(dst, f.Port)
+			inst.udpSinks[i] = sink
+		case TransportTCP:
+			sink := &app.TCPSink{}
+			sink.ListenTCP(dst, f.Port)
+			inst.tcpSinks[i] = sink
+		}
+	}
+	for i, f := range spec.Flows {
+		src, dst := net.Stations[f.Src], net.Stations[f.Dst]
+		switch f.Transport {
+		case TransportUDP:
+			cbr := app.NewCBR(net, src, dst.Addr(), f.Port, f.PacketSize, f.Interval.D())
+			cbr.Start()
+			inst.cbrs[i] = cbr
+		case TransportTCP:
+			inst.bulks[i] = app.StartBulk(net, src, dst.Addr(), f.Port, f.PacketSize)
+		}
+	}
+
+	if m := spec.Mobility; m != nil {
+		inst.startMobility(m)
+	}
+	return inst, nil
+}
+
+// startMobility wires the movement model into the scheduler.
+func (inst *Instance) startMobility(m *Mobility) {
+	w := node.DefaultWaypoint()
+	if m.Width > 0 {
+		w.Width = m.Width
+	}
+	if m.Height > 0 {
+		w.Height = m.Height
+	}
+	if m.MinSpeed > 0 {
+		w.MinSpeed = m.MinSpeed
+	}
+	if m.MaxSpeed > 0 {
+		w.MaxSpeed = m.MaxSpeed
+	}
+	if m.Pause > 0 {
+		w.Pause = m.Pause.D()
+	}
+	if m.Tick > 0 {
+		w.Tick = m.Tick.D()
+	}
+	movers := m.Stations
+	if len(movers) == 0 {
+		movers = make([]int, len(inst.Net.Stations))
+		for i := range movers {
+			movers[i] = i
+		}
+	}
+	for _, i := range movers {
+		w.Drive(inst.Net, inst.Net.Stations[i])
+	}
+}
+
+// FlowResult reports one flow's end-to-end outcome.
+type FlowResult struct {
+	Flow      int       `json:"flow"`
+	Src       int       `json:"src"`
+	Dst       int       `json:"dst"`
+	Transport Transport `json:"transport"`
+
+	// AppSent counts UDP datagrams handed to the transport, or TCP
+	// segments transmitted (including retransmissions).
+	AppSent uint64 `json:"app_sent"`
+	// Received counts UDP datagrams delivered to the sink; for TCP it is
+	// delivered bytes divided by the flow packet size.
+	Received uint64 `json:"received"`
+	// Bytes is the application payload delivered end to end.
+	Bytes uint64 `json:"bytes"`
+	// Gaps and Reorders come from the UDP sink's sequence accounting
+	// (zero for TCP, which repairs loss internally).
+	Gaps     uint64 `json:"gaps"`
+	Reorders uint64 `json:"reorders"`
+
+	// GoodputMbps and GoodputKbps are the delivered application rate
+	// over the horizon.
+	GoodputMbps float64 `json:"goodput_mbps"`
+	GoodputKbps float64 `json:"goodput_kbps"`
+
+	// Sender MAC counters: the mechanism-level story behind the goodput.
+	// The MAC keeps them per station, not per flow, so flows sharing a
+	// source station report the same (combined) values.
+	Retries       uint64 `json:"retries"`
+	TxDrops       uint64 `json:"tx_drops"`
+	EIFSDeferrals uint64 `json:"eifs_deferrals"`
+}
+
+// StationResult reports one station's MAC counters after the run.
+type StationResult struct {
+	Station       int    `json:"station"`
+	FramesSent    uint64 `json:"frames_sent"`
+	FramesDecoded uint64 `json:"frames_decoded"`
+	Retries       uint64 `json:"retries"`
+	TxDrops       uint64 `json:"tx_drops"`
+	EIFSDeferrals uint64 `json:"eifs_deferrals"`
+	PHYErrors     uint64 `json:"phy_errors"`
+}
+
+// Result is one scenario run's complete outcome.
+type Result struct {
+	Name     string   `json:"name"`
+	Seed     uint64   `json:"seed"`
+	Duration Duration `json:"duration"`
+
+	Flows    []FlowResult    `json:"flows"`
+	Stations []StationResult `json:"stations"`
+
+	// Fairness is Jain's index over the per-flow goodputs: the scalar
+	// the paper's four-station figures are really about.
+	Fairness float64 `json:"fairness"`
+}
+
+// Collect gathers the instance's metrics over the given horizon. It
+// does not advance the simulation; call it after driving Net yourself.
+func (inst *Instance) Collect(horizon time.Duration) Result {
+	res := Result{
+		Name:     inst.Spec.Name,
+		Seed:     inst.Spec.Seed,
+		Duration: Duration(horizon),
+	}
+	kbps := make([]float64, 0, len(inst.Spec.Flows))
+	for i, f := range inst.Spec.Flows {
+		src := inst.Net.Stations[f.Src]
+		fr := FlowResult{
+			Flow: i, Src: f.Src, Dst: f.Dst, Transport: f.Transport,
+			Retries:       src.MAC.Counters.Retries(),
+			TxDrops:       src.MAC.Counters.TxDrops,
+			EIFSDeferrals: src.MAC.Counters.EIFSDeferrals,
+		}
+		switch f.Transport {
+		case TransportUDP:
+			sink := inst.udpSinks[i]
+			fr.AppSent = inst.cbrs[i].Sent
+			fr.Received = sink.Received
+			fr.Bytes = sink.Bytes
+			fr.Gaps = sink.Gaps
+			fr.Reorders = sink.Reorders
+			fr.GoodputMbps = sink.ThroughputMbps(horizon)
+		case TransportTCP:
+			sink := inst.tcpSinks[i]
+			fr.AppSent = inst.bulks[i].Conn().Stats.SegsSent
+			fr.Bytes = sink.Bytes
+			fr.Received = sink.Bytes / uint64(f.PacketSize)
+			fr.GoodputMbps = sink.ThroughputMbps(horizon)
+		}
+		fr.GoodputKbps = stats.Kbps(fr.Bytes, horizon)
+		res.Flows = append(res.Flows, fr)
+		kbps = append(kbps, fr.GoodputKbps)
+	}
+	for i, st := range inst.Net.Stations {
+		res.Stations = append(res.Stations, StationResult{
+			Station:       i,
+			FramesSent:    st.Radio.FramesSent,
+			FramesDecoded: st.Radio.FramesDecoded,
+			Retries:       st.MAC.Counters.Retries(),
+			TxDrops:       st.MAC.Counters.TxDrops,
+			EIFSDeferrals: st.MAC.Counters.EIFSDeferrals,
+			PHYErrors:     st.MAC.Counters.PHYErrors,
+		})
+	}
+	res.Fairness = stats.JainFairness(kbps...)
+	return res
+}
+
+// Run compiles the spec, drives the simulation for the spec's horizon,
+// and returns the per-flow and per-station metrics.
+func Run(spec Spec) (Result, error) {
+	inst, err := Build(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	horizon := inst.Spec.Duration.D()
+	inst.Net.Run(horizon)
+	return inst.Collect(horizon), nil
+}
+
+// MustRun is Run for presets that are valid by construction; it panics
+// on error.
+func MustRun(spec Spec) Result {
+	res, err := Run(spec)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
+	return res
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The preset library: named ready-to-run scenarios. The first two mirror
+// the paper's own topologies; the rest go beyond it into the classic
+// 802.11 ad hoc geometries the two-preset API could never express.
+//
+// Distances are chosen against the calibrated DefaultProfile ranges
+// (TX_range ≈ 30/70/95/120 m at 11/5.5/2/1 Mbit/s, PCS_range ≈ 190 m),
+// so each preset exhibits the interaction it is named after.
+
+// presets returns the library, rebuilt per call so callers can mutate
+// their copy freely.
+func presets() []Spec {
+	return []Spec{
+		{
+			Name:        "paper-two-node",
+			Description: "§3.1 single saturating UDP session, two stations 10 m apart at 11 Mbit/s",
+			Seed:        42,
+			Duration:    Duration(10 * time.Second),
+			MSS:         512,
+			Topology:    Topology{Kind: KindLine, N: 2, Spacing: 10},
+			MAC:         MACParams{RateMbps: 11},
+			Flows:       []Flow{{Src: 0, Dst: 1, Transport: TransportUDP, PacketSize: 512, Port: 9000}},
+		},
+		{
+			Name:        "paper-four-node",
+			Description: "§3.3 Figure 7: four stations on a 25/82.5/25 m line, two UDP sessions, testbed asymmetry",
+			Seed:        42,
+			Duration:    Duration(10 * time.Second),
+			MSS:         512,
+			Profile:     ProfileTestbed,
+			Topology:    Topology{Kind: KindLine, Spacings: []float64{25, 82.5, 25}},
+			MAC:         MACParams{RateMbps: 11},
+			Flows: []Flow{
+				{Src: 0, Dst: 1, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+				{Src: 2, Dst: 3, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+			},
+		},
+		{
+			Name: "hidden-terminal",
+			Description: "two senders 220 m apart (beyond PCS_range) converge on one middle receiver at 1 Mbit/s: " +
+				"collisions at the receiver that carrier sense cannot prevent",
+			Seed:     42,
+			Duration: Duration(10 * time.Second),
+			Topology: Topology{Kind: KindLine, N: 3, Spacing: 110},
+			MAC:      MACParams{RateMbps: 1},
+			Flows: []Flow{
+				{Src: 0, Dst: 1, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+				{Src: 2, Dst: 1, Transport: TransportUDP, PacketSize: 512, Port: 9001},
+			},
+		},
+		{
+			Name: "exposed-terminal",
+			Description: "two 50 m sessions pointing away from each other with their senders 100 m apart (inside " +
+				"PCS_range) at 5.5 Mbit/s: carrier sense serializes transmissions that could safely overlap",
+			Seed:     42,
+			Duration: Duration(10 * time.Second),
+			Topology: Topology{Kind: KindExplicit, Positions: [][2]float64{{0, 0}, {50, 0}, {150, 0}, {200, 0}}},
+			MAC:      MACParams{RateMbps: 5.5},
+			Flows: []Flow{
+				{Src: 1, Dst: 0, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+				{Src: 2, Dst: 3, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+			},
+		},
+		{
+			Name: "grid-3x3",
+			Description: "nine stations on a 3×3 grid with 25 m spacing at 11 Mbit/s, four one-hop UDP sessions " +
+				"contending inside one carrier-sense domain",
+			Seed:     42,
+			Duration: Duration(10 * time.Second),
+			Topology: Topology{Kind: KindGrid, Rows: 3, Cols: 3, Spacing: 25},
+			MAC:      MACParams{RateMbps: 11},
+			Flows: []Flow{
+				{Src: 0, Dst: 1, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+				{Src: 2, Dst: 5, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+				{Src: 6, Dst: 3, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+				{Src: 8, Dst: 7, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+			},
+		},
+		{
+			Name: "ring-8",
+			Description: "eight stations on a 33 m-radius ring at 11 Mbit/s, four adjacent-pair UDP sessions " +
+				"(every receiver neighbors another session's sender)",
+			Seed:     42,
+			Duration: Duration(10 * time.Second),
+			Topology: Topology{Kind: KindRing, N: 8, Radius: 33},
+			MAC:      MACParams{RateMbps: 11},
+			Flows: []Flow{
+				{Src: 0, Dst: 1, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+				{Src: 2, Dst: 3, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+				{Src: 4, Dst: 5, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+				{Src: 6, Dst: 7, Transport: TransportUDP, PacketSize: 512, Port: 9000},
+			},
+		},
+		{
+			Name: "mobile-pair",
+			Description: "a static sink and a random-waypoint walker on a 300×300 m field at 1 Mbit/s paced CBR: " +
+				"the §3.2 mobility consequence — goodput tracks the walker's distance",
+			Seed:     42,
+			Duration: Duration(30 * time.Second),
+			Topology: Topology{Kind: KindExplicit, Positions: [][2]float64{{150, 150}, {160, 150}}},
+			MAC:      MACParams{RateMbps: 1},
+			Flows: []Flow{
+				{Src: 1, Dst: 0, Transport: TransportUDP, PacketSize: 512, Port: 9000, Interval: Duration(20 * time.Millisecond)},
+			},
+			Mobility: &Mobility{Model: ModelRandomWaypoint, Width: 300, Height: 300, Stations: []int{1}},
+		},
+	}
+}
+
+// Presets lists the built-in scenario library, sorted by name.
+func Presets() []Spec {
+	ps := presets()
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// Preset returns the named built-in scenario.
+func Preset(name string) (Spec, error) {
+	for _, p := range presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, 0)
+	for _, p := range Presets() {
+		names = append(names, p.Name)
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, names)
+}

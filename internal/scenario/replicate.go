@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"adhocsim/internal/runner"
+)
+
+// FlowSummary aggregates one flow's metrics over replications.
+type FlowSummary struct {
+	Flow      int            `json:"flow"`
+	Src       int            `json:"src"`
+	Dst       int            `json:"dst"`
+	Transport Transport      `json:"transport"`
+	Kbps      runner.Summary `json:"kbps"`
+	Retries   runner.Summary `json:"retries"`
+	Gaps      runner.Summary `json:"gaps"`
+}
+
+// Summary aggregates a replicated scenario: per-flow goodput/retry/loss
+// summaries plus the fairness index, each as mean ± 95% CI over the
+// replications.
+type Summary struct {
+	Name         string         `json:"name"`
+	Replications int            `json:"replications"`
+	Flows        []FlowSummary  `json:"flows"`
+	Fairness     runner.Summary `json:"fairness"`
+	// Runs holds the per-replication results in replication order.
+	Runs []Result `json:"runs"`
+}
+
+// Replicate runs reps independently seeded copies of the spec across
+// workers goroutines (0 = all CPUs) and aggregates per-flow metrics.
+// Replication 0 reuses the spec's own seed, so a single-replication
+// summary wraps exactly the result of Run(spec). The aggregate is
+// bit-identical for any worker count.
+func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Summary, error) {
+	if err := spec.Validate(); err != nil {
+		return Summary{}, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if spec.MACHook != nil {
+		// A MACHook typically closes over live objects (rate controllers,
+		// ablation state) that every replication would then share; running
+		// those replications concurrently is a data race. Fall back to one
+		// worker — results are identical either way, only wall-clock
+		// differs.
+		workers = 1
+	}
+	cfg := runner.Config{Workers: workers, Progress: progress}
+	runs := runner.Replicate(cfg, spec.Seed, reps, func(seed uint64) Result {
+		s := spec
+		s.Seed = seed
+		return MustRun(s)
+	})
+	sum := Summary{
+		Name:         spec.Name,
+		Replications: len(runs),
+		Fairness:     runner.SummarizeBy(runs, func(r Result) float64 { return r.Fairness }),
+		Runs:         runs,
+	}
+	for i := range runs[0].Flows {
+		i := i
+		sum.Flows = append(sum.Flows, FlowSummary{
+			Flow:      i,
+			Src:       runs[0].Flows[i].Src,
+			Dst:       runs[0].Flows[i].Dst,
+			Transport: runs[0].Flows[i].Transport,
+			Kbps:      runner.SummarizeBy(runs, func(r Result) float64 { return r.Flows[i].GoodputKbps }),
+			Retries:   runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Flows[i].Retries) }),
+			Gaps:      runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Flows[i].Gaps) }),
+		})
+	}
+	return sum, nil
+}
+
+// Render formats a replicated scenario summary as the text table the
+// CLI prints: one row per flow plus the fairness line.
+func Render(s Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario %q — %d replication(s)\n", s.Name, s.Replications)
+	fmt.Fprintf(&b, "%-6s %-10s %-12s %-18s %-14s %s\n",
+		"flow", "route", "transport", "goodput [kbit/s]", "retries", "gaps")
+	for _, f := range s.Flows {
+		fmt.Fprintf(&b, "%-6d %-10s %-12s %8.1f ± %-7.1f %6.1f ± %-5.1f %6.1f\n",
+			f.Flow, fmt.Sprintf("%d→%d", f.Src, f.Dst), f.Transport,
+			f.Kbps.Mean, f.Kbps.CI95, f.Retries.Mean, f.Retries.CI95, f.Gaps.Mean)
+	}
+	fmt.Fprintf(&b, "Jain fairness: %.3f ± %.3f\n", s.Fairness.Mean, s.Fairness.CI95)
+	return b.String()
+}

@@ -1,0 +1,408 @@
+// Package scenario is the declarative experiment layer: one Spec
+// describes an entire 802.11 ad hoc experiment — topology, traffic
+// matrix, per-station MAC/PHY configuration, optional mobility, horizon
+// and seed — and one engine (Build/Run) compiles it into a live
+// node.Network and measures per-flow goodput, loss and MAC-level
+// counters.
+//
+// Specs marshal to and from JSON, so scenarios can live in files and be
+// run by cmd/adhocsim -scenario without recompiling. The paper's
+// hand-built experiments (internal/experiments RunTwoNode/RunFourNode)
+// are thin presets that compile to Specs; golden tests pin their outputs
+// bit-for-bit to the pre-refactor implementations.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"adhocsim/internal/mac"
+	"adhocsim/internal/phy"
+)
+
+// Duration is a time.Duration that marshals to JSON as a human-readable
+// string ("10s", "250ms") and unmarshals from either that form or a
+// plain number of nanoseconds.
+type Duration time.Duration
+
+// D returns the value as a time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "10s"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("scenario: duration must be a string or nanoseconds: %s", b)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Transport names a flow's transport protocol.
+type Transport string
+
+// The two transports of the paper's workloads.
+const (
+	TransportUDP Transport = "udp"
+	TransportTCP Transport = "tcp"
+)
+
+// MACParams is the JSON-able subset of mac.Config a Spec can set, both
+// network-wide (Spec.MAC) and per station (Spec.Stations). The zero
+// value means "MAC defaults": 11 Mbit/s, basic access, standard retry
+// limits.
+type MACParams struct {
+	// RateMbps is the unicast data rate: 1, 2, 5.5 or 11. 0 selects the
+	// MAC default (11 Mbit/s).
+	RateMbps float64 `json:"rate_mbps,omitempty"`
+	// RTSCTS protects every unicast data frame with RTS/CTS.
+	RTSCTS bool `json:"rtscts,omitempty"`
+	// RTSThresholdBytes, when positive, overrides RTSCTS with a byte
+	// threshold: MSDUs at least this large are RTS-protected.
+	RTSThresholdBytes int `json:"rts_threshold_bytes,omitempty"`
+	// ShortRetryLimit / LongRetryLimit / QueueCap follow mac.Config's
+	// conventions (0 = default, negative retry limits disable retries).
+	ShortRetryLimit int `json:"short_retry_limit,omitempty"`
+	LongRetryLimit  int `json:"long_retry_limit,omitempty"`
+	QueueCap        int `json:"queue_cap,omitempty"`
+	// DisableEIFS and DeferResponses are the ablation switches of
+	// mac.Config (see DESIGN.md).
+	DisableEIFS    bool `json:"disable_eifs,omitempty"`
+	DeferResponses bool `json:"defer_responses,omitempty"`
+	// BeaconInterval enables IBSS beaconing when positive.
+	BeaconInterval Duration `json:"beacon_interval,omitempty"`
+}
+
+// rate returns the phy.Rate for RateMbps (0 = MAC default).
+func (p MACParams) rate() (phy.Rate, error) {
+	switch p.RateMbps {
+	case 0:
+		return 0, nil
+	case 1:
+		return phy.Rate1, nil
+	case 2:
+		return phy.Rate2, nil
+	case 5.5:
+		return phy.Rate5_5, nil
+	case 11:
+		return phy.Rate11, nil
+	}
+	return 0, fmt.Errorf("scenario: rate %g Mbit/s is not an 802.11b rate", p.RateMbps)
+}
+
+// Config compiles the params into a mac.Config (Address and BSSID are
+// assigned by the network builder).
+func (p MACParams) Config() (mac.Config, error) {
+	rate, err := p.rate()
+	if err != nil {
+		return mac.Config{}, err
+	}
+	rts := mac.RTSNever
+	switch {
+	case p.RTSThresholdBytes > 0:
+		rts = p.RTSThresholdBytes
+	case p.RTSCTS:
+		rts = mac.RTSAlways + 1 // any MSDU ≥ 1 byte is protected
+	}
+	return mac.Config{
+		DataRate:        rate,
+		RTSThreshold:    rts,
+		ShortRetryLimit: p.ShortRetryLimit,
+		LongRetryLimit:  p.LongRetryLimit,
+		QueueCap:        p.QueueCap,
+		DisableEIFS:     p.DisableEIFS,
+		DeferResponses:  p.DeferResponses,
+		BeaconInterval:  p.BeaconInterval.D(),
+	}, nil
+}
+
+// StationOverride replaces the network-wide MAC parameters and/or radio
+// profile for one station (0-based topology index).
+type StationOverride struct {
+	Station int `json:"station"`
+	// MAC, when non-nil, replaces Spec.MAC wholesale for this station.
+	MAC *MACParams `json:"mac,omitempty"`
+	// Profile, when non-empty, selects a named radio profile for this
+	// station's radio alone (see Spec.Profile for the names).
+	Profile string `json:"profile,omitempty"`
+}
+
+// Flow is one src→dst traffic session of the scenario's traffic matrix.
+type Flow struct {
+	// Src and Dst are 0-based station indices into the topology.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// Transport selects the workload: "udp" is a CBR source (saturating
+	// when Interval is zero, paced otherwise), "tcp" a saturating bulk
+	// transfer. Defaults to "udp".
+	Transport Transport `json:"transport,omitempty"`
+	// PacketSize is the application payload in bytes (default 512, the
+	// paper's size).
+	PacketSize int `json:"packet_size,omitempty"`
+	// Interval paces a UDP CBR source (one packet per interval); zero
+	// keeps the MAC queue saturated, the paper's asymptotic regime.
+	// Ignored for TCP.
+	Interval Duration `json:"interval,omitempty"`
+	// Port is the destination port (default 9000). Two flows may share a
+	// port only if they terminate at different stations.
+	Port uint16 `json:"port,omitempty"`
+}
+
+func (f Flow) withDefaults() Flow {
+	if f.Transport == "" {
+		f.Transport = TransportUDP
+	}
+	if f.PacketSize == 0 {
+		f.PacketSize = 512
+	}
+	if f.Port == 0 {
+		f.Port = 9000
+	}
+	return f
+}
+
+// Mobility attaches a movement model to some or all stations.
+type Mobility struct {
+	// Model names the mover; "random-waypoint" is the only model today.
+	Model string `json:"model"`
+	// Width/Height bound the movement field in meters (default 300×300).
+	Width  float64 `json:"width,omitempty"`
+	Height float64 `json:"height,omitempty"`
+	// MinSpeed/MaxSpeed bound the uniform speed draw in m/s (default
+	// pedestrian 0.5–2.0).
+	MinSpeed float64 `json:"min_speed,omitempty"`
+	MaxSpeed float64 `json:"max_speed,omitempty"`
+	// Pause is the dwell time at each waypoint (default 2s); Tick the
+	// position-update granularity (default 100ms).
+	Pause Duration `json:"pause,omitempty"`
+	Tick  Duration `json:"tick,omitempty"`
+	// Stations lists the stations that move (0-based indices); empty
+	// means all of them.
+	Stations []int `json:"stations,omitempty"`
+}
+
+// ModelRandomWaypoint is the Mobility.Model name of the random-waypoint
+// mover (node.RandomWaypoint).
+const ModelRandomWaypoint = "random-waypoint"
+
+// Named radio profiles selectable from JSON.
+const (
+	// ProfileDefault is phy.DefaultProfile: the calibrated outdoor model.
+	ProfileDefault = "default"
+	// ProfileTestbed is phy.TestbedProfile: default plus static per-link
+	// asymmetry, the §3.3 four-station conditions.
+	ProfileTestbed = "testbed"
+	// ProfileClear / ProfileDamp are the Figure 4 weather variants.
+	ProfileClear = "weather-clear"
+	ProfileDamp  = "weather-damp"
+)
+
+// profileByName resolves a named profile; "" means ProfileDefault.
+func profileByName(name string) (*phy.Profile, error) {
+	switch name {
+	case "", ProfileDefault:
+		return nil, nil // nil lets node.NewNetwork pick phy.DefaultProfile
+	case ProfileTestbed:
+		return phy.TestbedProfile(), nil
+	case ProfileClear:
+		return phy.WeatherClear.Apply(phy.DefaultProfile()), nil
+	case ProfileDamp:
+		return phy.WeatherDamp.Apply(phy.DefaultProfile()), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown profile %q", name)
+}
+
+// ProfileNames lists the named radio profiles a Spec can reference.
+func ProfileNames() []string {
+	return []string{ProfileDefault, ProfileTestbed, ProfileClear, ProfileDamp}
+}
+
+// Spec is one complete declarative scenario.
+type Spec struct {
+	// Name and Description identify the scenario in listings and output.
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Seed roots every random draw of the run; equal Specs with equal
+	// seeds produce bit-identical results.
+	Seed uint64 `json:"seed"`
+	// Duration is the measurement horizon (default 10s).
+	Duration Duration `json:"duration,omitempty"`
+	// MSS overrides the TCP maximum segment size. 0 follows the paper's
+	// convention: the packet size of the first TCP flow (so one
+	// application packet rides in one segment), or the transport default
+	// when no TCP flow exists.
+	MSS int `json:"mss,omitempty"`
+
+	// Profile names the network-wide radio profile (see ProfileNames).
+	Profile string `json:"profile,omitempty"`
+	// CustomProfile, when non-nil, overrides Profile with an arbitrary
+	// in-process radio model. Not serialized: JSON scenarios use named
+	// profiles.
+	CustomProfile *phy.Profile `json:"-"`
+
+	// Topology places the stations.
+	Topology Topology `json:"topology"`
+	// MAC is the network-wide MAC configuration; Stations overrides it
+	// per station.
+	MAC      MACParams         `json:"mac,omitempty"`
+	Stations []StationOverride `json:"stations,omitempty"`
+
+	// Flows is the traffic matrix. Flows start at time zero and run for
+	// the whole horizon, as the paper's sessions do.
+	Flows []Flow `json:"flows"`
+
+	// Mobility optionally moves stations during the run.
+	Mobility *Mobility `json:"mobility,omitempty"`
+
+	// MACHook, when non-nil, is applied to every station's compiled
+	// mac.Config after overrides (station is the 0-based index). It is
+	// the programmatic escape hatch for non-serializable configuration —
+	// rate controllers, ablation mutations. Not serialized.
+	MACHook func(station int, cfg *mac.Config) `json:"-"`
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Duration == 0 {
+		s.Duration = Duration(10 * time.Second)
+	}
+	// Copy the flow slice: withDefaults must not mutate the caller's spec.
+	flows := make([]Flow, len(s.Flows))
+	for i, f := range s.Flows {
+		flows[i] = f.withDefaults()
+	}
+	s.Flows = flows
+	return s
+}
+
+// Validate checks the spec for structural errors: unknown topology
+// kinds, out-of-range flow endpoints, port clashes, bad rates. Build
+// validates automatically; Validate exists for early feedback when
+// authoring specs.
+func (s Spec) Validate() error {
+	_, err := s.withDefaults().check()
+	return err
+}
+
+// check validates an already-defaulted spec and returns the expanded
+// topology, so Build validates and expands exactly once.
+func (s Spec) check() ([]phy.Position, error) {
+	positions, err := s.Topology.Expand(s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n := len(positions)
+	if _, err := profileByName(s.Profile); err != nil && s.CustomProfile == nil {
+		return nil, err
+	}
+	if _, err := s.MAC.Config(); err != nil {
+		return nil, err
+	}
+	overridden := make(map[int]bool, len(s.Stations))
+	for _, ov := range s.Stations {
+		if ov.Station < 0 || ov.Station >= n {
+			return nil, fmt.Errorf("scenario: station override %d outside topology of %d stations", ov.Station, n)
+		}
+		if overridden[ov.Station] {
+			return nil, fmt.Errorf("scenario: station %d overridden twice", ov.Station)
+		}
+		overridden[ov.Station] = true
+		if ov.MAC != nil {
+			if _, err := ov.MAC.Config(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := profileByName(ov.Profile); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.Flows) == 0 {
+		return nil, fmt.Errorf("scenario: no flows")
+	}
+	type sinkKey struct {
+		dst  int
+		port uint16
+	}
+	sinks := map[sinkKey]int{}
+	for i, f := range s.Flows {
+		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
+			return nil, fmt.Errorf("scenario: flow %d endpoints %d→%d outside topology of %d stations", i, f.Src, f.Dst, n)
+		}
+		if f.Src == f.Dst {
+			return nil, fmt.Errorf("scenario: flow %d sends to itself (station %d)", i, f.Src)
+		}
+		if f.Transport != TransportUDP && f.Transport != TransportTCP {
+			return nil, fmt.Errorf("scenario: flow %d has unknown transport %q", i, f.Transport)
+		}
+		if f.PacketSize < 0 || f.PacketSize > mac.MaxMSDU {
+			return nil, fmt.Errorf("scenario: flow %d packet size %d outside (0, %d]", i, f.PacketSize, mac.MaxMSDU)
+		}
+		if f.Interval < 0 {
+			return nil, fmt.Errorf("scenario: flow %d has negative interval", i)
+		}
+		k := sinkKey{f.Dst, f.Port}
+		if prev, clash := sinks[k]; clash {
+			return nil, fmt.Errorf("scenario: flows %d and %d both terminate at station %d port %d", prev, i, f.Dst, f.Port)
+		}
+		sinks[k] = i
+	}
+	if m := s.Mobility; m != nil {
+		if m.Model != ModelRandomWaypoint {
+			return nil, fmt.Errorf("scenario: unknown mobility model %q", m.Model)
+		}
+		seen := make(map[int]bool, len(m.Stations))
+		for _, st := range m.Stations {
+			if st < 0 || st >= n {
+				return nil, fmt.Errorf("scenario: mobility station %d outside topology of %d stations", st, n)
+			}
+			if seen[st] {
+				return nil, fmt.Errorf("scenario: mobility station %d listed twice", st)
+			}
+			seen[st] = true
+		}
+	}
+	if s.Duration <= 0 {
+		return nil, fmt.Errorf("scenario: non-positive duration %v", s.Duration.D())
+	}
+	return positions, nil
+}
+
+// ParseSpec decodes and validates a JSON scenario. Unknown fields are
+// rejected so typos in hand-written specs fail loudly.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// MarshalSpec encodes a spec as indented JSON.
+func MarshalSpec(s Spec) ([]byte, error) {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
