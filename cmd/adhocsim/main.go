@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,7 +48,14 @@ func main() {
 	progress := flag.Bool("progress", false, "stream run progress to stderr")
 	scen := flag.String("scenario", "", "run a declarative scenario: a spec .json file or a preset name (see -list-scenarios)")
 	listScen := flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
+
+	startProfiles(*cpuProfile, *memProfile)
+	// Flush profiles on normal return and on panic alike; flushProfiles
+	// (not exit) so a panic keeps unwinding and prints its trace.
+	defer flushProfiles()
 
 	if *listScen {
 		listScenarios()
@@ -85,7 +94,7 @@ func main() {
 		if *jsonOut && v != nil {
 			if err := runner.WriteJSON(os.Stdout, v); err != nil {
 				fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			return
 		}
@@ -169,8 +178,69 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "adhocsim: unknown experiment %q\n", *exp)
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
+}
+
+// memProfilePath is the heap-profile destination registered by
+// startProfiles, written by exit just before the process terminates.
+var memProfilePath string
+
+// startProfiles begins CPU profiling and registers the heap profile
+// destination. Profiles let future performance work see the simulator's
+// real hot paths under real workloads (large -scenario runs,
+// replicated experiments) instead of micro-benchmarks alone:
+//
+//	adhocsim -scenario random-1024 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+func startProfiles(cpuPath, memPath string) {
+	memProfilePath = memPath
+	if cpuPath == "" {
+		return
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adhocsim: -cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "adhocsim: -cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// profilesFlushed makes flushProfiles idempotent: it runs both from
+// main's deferred call (normal return, panic) and from exit (error
+// paths).
+var profilesFlushed bool
+
+// flushProfiles stops the CPU profile and writes the heap profile.
+func flushProfiles() {
+	if profilesFlushed {
+		return
+	}
+	profilesFlushed = true
+	pprof.StopCPUProfile()
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err == nil {
+			runtime.GC() // materialize up-to-date allocation stats
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adhocsim: -memprofile: %v\n", err)
+		}
+	}
+}
+
+// exit flushes any active profiles and terminates with the given code,
+// so profile files are complete even on error exits.
+func exit(code int) {
+	flushProfiles()
+	os.Exit(code)
 }
 
 // listScenarios prints the preset library, one name per line with its
@@ -192,7 +262,7 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 	spec, err := loadScenario(ref)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 	if seed != nil {
 		spec.Seed = *seed
@@ -207,12 +277,12 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 	sum, err := scenario.Replicate(spec, reps, workers, prog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if jsonOut {
 		if err := runner.WriteJSON(os.Stdout, sum); err != nil {
 			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}

@@ -193,12 +193,12 @@ type MAC struct {
 	availSince  time.Duration
 	lastRxError bool // most recent reception ended in a PHY error (EIFS owed)
 
-	resumeEv  *sim.Event // fires when IFS after idle has elapsed
-	slotEv    *sim.Event // next backoff slot tick
-	navEv     *sim.Event // NAV expiry
-	timeoutEv *sim.Event // CTS/ACK timeout
-	sifsEv    *sim.Event // pending SIFS response
-	beaconEv  *sim.Event // next beacon
+	resumeEv  sim.Event // fires when IFS after idle has elapsed
+	slotEv    sim.Event // next backoff slot tick
+	navEv     sim.Event // NAV expiry
+	timeoutEv sim.Event // CTS/ACK timeout
+	sifsEv    sim.Event // pending SIFS response
+	beaconEv  sim.Event // next beacon
 
 	pendingResp  *frame.Frame
 	respRate     phy.Rate

@@ -13,16 +13,32 @@ import (
 // grid with 700 m spacing, so most transmitter/receiver pairs are far
 // below the noise floor. Before the irrelevant-receiver cut in
 // Radio.Transmit, every transmission scheduled two events at all 63
-// other radios; with it, arrivals ≥ irrelevantMarginDB under the noise
+// other radios; with it, arrivals ≥ IrrelevantMarginDB under the noise
 // floor are never scheduled, and the event count per transmission drops
 // to the handful of radios the frame can physically matter to.
 //
 // This bench is the first entry of the repository's bench trajectory
 // (BENCH_PR2.json at the root).
 func BenchmarkMedium64Stations(b *testing.B) {
-	const side = 8
+	benchmarkMediumGrid(b, 8)
+}
+
+// BenchmarkMedium1024Stations is the PR 3 headline bench: a 32×32 grid
+// with the same 700 m spacing (21.7 km per side). At this scale the
+// pre-index medium spent O(N) work per transmission computing distance
+// and fading for every radio on the field before discarding almost all
+// of them; the spatial hash grid visits only the cells a transmission
+// can physically matter to (see BENCH_PR3.json at the root).
+func BenchmarkMedium1024Stations(b *testing.B) {
+	benchmarkMediumGrid(b, 32)
+}
+
+// benchmarkMediumGrid measures the per-transmission cost of the
+// broadcast medium with side×side radios on a 700 m grid, so most
+// transmitter/receiver pairs are far below the noise floor.
+func benchmarkMediumGrid(b *testing.B, side int) {
 	prof := phy.DefaultProfile()
-	prof.Fading.SigmaDB = 0 // geometry-only: keep the cut deterministic
+	prof.Fading.SigmaDB = 0 // geometry-only: keep the relevance cut deterministic
 
 	sched := sim.NewScheduler()
 	m := New(sched, sim.NewSource(1))

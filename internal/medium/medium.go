@@ -1,8 +1,8 @@
 // Package medium simulates the shared wireless channel: it propagates
-// every transmission to every radio, maintains per-receiver energy
-// bookkeeping for physical carrier sense (CCA), decides which frames are
-// decodable under cumulative co-channel interference (SINR), and models
-// preamble locking with power capture.
+// every transmission to every radio it can physically matter to,
+// maintains per-receiver energy bookkeeping for physical carrier sense
+// (CCA), decides which frames are decodable under cumulative co-channel
+// interference (SINR), and models preamble locking with power capture.
 //
 // The medium is where the paper's three ranges become emergent behaviour
 // rather than configured constants:
@@ -14,10 +14,30 @@
 //   - IF_range: a transmission too weak to decode still raises the
 //     interference floor at distant receivers and can corrupt their
 //     receptions.
+//
+// Because the ranges are emergent, the medium cannot use a configured
+// "who hears whom" adjacency; instead it derives a hard relevance radius
+// from the radio model itself — the distance beyond which no shadowing
+// draw can lift a transmission's power to within IrrelevantMarginDB of
+// any receiver's noise floor (phy.Profile.ReachRange) — and keeps the
+// radios in a spatial hash grid (phy.CellIndex) with that radius as the
+// cell size. Transmit then touches only the 3×3 cell neighborhood of the
+// transmitter: per-transmission cost is proportional to the stations in
+// earshot, not the stations in existence, which is what makes
+// thousand-station fields tractable. Candidates are dispatched in
+// ascending radio-id order — identical to the pre-index insertion order
+// for networks built by internal/node — so fixed-seed runs are
+// bit-identical with and without the index (see SetBruteForce).
+//
+// The per-transmission bookkeeping runs allocation-free in steady state:
+// arrival records and transmission descriptors are pooled, and both are
+// scheduled through sim.Scheduler's Action path rather than closures.
 package medium
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"time"
 
 	"adhocsim/internal/frame"
@@ -42,7 +62,7 @@ type Handler interface {
 	TxDone()
 }
 
-// irrelevantMarginDB is how far under a receiver's noise floor an
+// IrrelevantMarginDB is how far under a receiver's noise floor an
 // arrival must be before the medium stops simulating it at that
 // receiver. At 20 dB each skipped arrival carries at most 1% of the
 // noise power, so any CCA, preamble-lock, or SINR decision would need
@@ -52,7 +72,7 @@ type Handler interface {
 // pathological regime (dozens of concurrent transmitters all barely
 // under the floor at the same radio) for O(radios-within-earshot)
 // event scheduling instead of O(all radios) per transmission.
-const irrelevantMarginDB = 20
+const IrrelevantMarginDB = 20
 
 // Medium is the shared broadcast channel connecting a set of radios.
 type Medium struct {
@@ -60,6 +80,22 @@ type Medium struct {
 	src   *sim.Source
 
 	radios []*Radio
+	byID   map[uint32]*Radio
+
+	// index is the spatial neighbor grid; nil while dirty, after
+	// SetBruteForce(true), or when a degenerate radio model admits no
+	// finite relevance radius (Transmit then falls back to exhaustive
+	// propagation). It is rebuilt lazily on the first Transmit after a
+	// radio set change and updated incrementally by Radio.SetPos.
+	index      *phy.CellIndex
+	indexDirty bool
+	bruteForce bool
+
+	// Pools: reused across transmissions so the steady-state event flow
+	// allocates nothing.
+	freeArrivals []*arrival
+	freeTx       []*transmission
+	candidates   []uint32 // scratch buffer for index queries
 
 	// Counters (aggregate, for experiments and tests).
 	Transmissions uint64
@@ -70,11 +106,71 @@ type Medium struct {
 // New returns an empty medium driven by sched, drawing fading values
 // from src.
 func New(sched *sim.Scheduler, src *sim.Source) *Medium {
-	return &Medium{sched: sched, src: src}
+	return &Medium{
+		sched:      sched,
+		src:        src,
+		byID:       make(map[uint32]*Radio),
+		indexDirty: true,
+	}
 }
 
 // Now returns the current simulated time.
 func (m *Medium) Now() time.Duration { return m.sched.Now() }
+
+// SetBruteForce disables (true) or re-enables (false) the spatial
+// neighbor index, forcing Transmit back to exhaustive per-radio
+// propagation in radio insertion order — the pre-index reference
+// behaviour. It exists for verification: the mobility equivalence tests
+// run the same seed with and without the index and require identical
+// metrics. Production callers never need it.
+func (m *Medium) SetBruteForce(on bool) {
+	m.bruteForce = on
+	m.indexDirty = true
+}
+
+// ensureIndex rebuilds the neighbor grid if the radio set changed since
+// the last transmission. The cell size is the maximum relevance radius
+// over all transmitter profiles against the lowest noise floor on the
+// field, so any transmission's candidate set lies within the 3×3 cell
+// block around the transmitter.
+func (m *Medium) ensureIndex() {
+	if !m.indexDirty {
+		return
+	}
+	m.indexDirty = false
+	m.index = nil
+	if m.bruteForce || len(m.radios) == 0 {
+		return
+	}
+	minFloor := math.Inf(1)
+	for _, r := range m.radios {
+		if f := r.profile.NoiseFloorDBm; f < minFloor {
+			minFloor = f
+		}
+	}
+	threshold := minFloor - IrrelevantMarginDB
+	maxReach := 0.0
+	for _, r := range m.radios {
+		// A non-positive path-loss exponent means received power does not
+		// fall with distance, so no relevance radius exists at all; a
+		// non-finite ReachRange means the budget never runs out. Either
+		// way the index cannot soundly prune anything — keep the
+		// exhaustive path.
+		d := r.profile.ReachRange(threshold)
+		if r.profile.PathLoss.Exponent <= 0 || !(d > 0) || math.IsInf(d, 1) {
+			return
+		}
+		r.reach = d
+		if d > maxReach {
+			maxReach = d
+		}
+	}
+	ix := phy.NewCellIndex(maxReach)
+	for _, r := range m.radios {
+		ix.Insert(r.id, r.pos)
+	}
+	m.index = ix
+}
 
 // radioState tracks what a radio's receive chain is doing.
 type radioState uint8
@@ -94,17 +190,32 @@ type Radio struct {
 
 	state radioState
 
-	// arrivals maps every in-flight transmission overlapping this radio
-	// to its received power in dBm (fixed at arrival time, one fading
-	// epoch per frame).
-	arrivals map[*transmission]float64
+	// reach is this radio's transmit relevance radius in meters, set by
+	// Medium.ensureIndex: beyond it no receiver on the field can see
+	// this radio's frames above the irrelevance threshold.
+	reach float64
+
+	// txEnd is the pooled end-of-own-transmission action, scheduled once
+	// per Transmit without allocating.
+	txEnd txEndAction
+
+	// arrivals lists every in-flight transmission overlapping this radio
+	// with its received power (fixed at arrival time, one fading epoch
+	// per frame), in arrival order. A slice rather than a map: the
+	// handful of entries makes linear scans faster than hashing, and —
+	// decisive for the determinism contract — the interference/CCA power
+	// sums accumulate in a fixed order, where Go's randomized map
+	// iteration would let three-summand float sums differ between
+	// identically-seeded runs. The linear power form is cached at the
+	// leading edge so the hot sums never re-run the dBm→mW exponential.
+	arrivals []arrivalEntry
 
 	// locked is the transmission the receive chain is synchronized to.
 	locked       *transmission
 	lockedPower  float64 // dBm
 	maxInterfMW  float64 // worst cumulative interference during the lock
 	ccaBusy      bool
-	txEndPending *sim.Event
+	txEndPending sim.Event
 
 	// Counters.
 	FramesSent      uint64
@@ -114,31 +225,118 @@ type Radio struct {
 	CaptureSwitches uint64
 }
 
-// transmission is one frame in flight.
+// transmission is one frame in flight. Descriptors are pooled: refs
+// counts the arrival records still holding one, and the descriptor
+// returns to the pool when the last arrival completes.
 type transmission struct {
 	from *Radio
 	f    *frame.Frame
 	rate phy.Rate
 	end  time.Duration
+	refs int32
+}
+
+// arrivalEntry is one in-flight transmission's received power at one
+// radio, in both scales: dBm for lock/sensitivity decisions, linear
+// milliwatts for energy summation.
+type arrivalEntry struct {
+	tx  *transmission
+	dbm float64
+	mw  float64
+}
+
+// arrival is the pooled per-receiver record of one transmission
+// overlapping one radio. It is scheduled twice — once at the leading
+// edge, once at the trailing edge — replacing the closure pair the
+// medium used to allocate per receiver.
+type arrival struct {
+	rx       *Radio
+	tx       *transmission
+	powerDBm float64
+	started  bool
+}
+
+// Act fires the arrival's next edge.
+func (a *arrival) Act() {
+	if !a.started {
+		a.started = true
+		a.rx.arrivalStart(a.tx, a.powerDBm)
+		return
+	}
+	rx, tx := a.rx, a.tx
+	m := rx.m
+	m.releaseArrival(a)
+	rx.arrivalEnd(tx)
+	if tx.refs--; tx.refs == 0 {
+		m.releaseTransmission(tx)
+	}
+}
+
+// txEndAction returns a transmitting radio to listen state when its own
+// frame leaves the air.
+type txEndAction struct{ r *Radio }
+
+// Act implements sim.Action.
+func (t *txEndAction) Act() {
+	r := t.r
+	r.state = stateListen
+	r.txEndPending = sim.Event{}
+	r.updateCCA()
+	r.handler.TxDone()
+}
+
+func (m *Medium) newArrival(rx *Radio, tx *transmission, powerDBm float64) *arrival {
+	var a *arrival
+	if n := len(m.freeArrivals); n > 0 {
+		a = m.freeArrivals[n-1]
+		m.freeArrivals = m.freeArrivals[:n-1]
+	} else {
+		a = new(arrival)
+	}
+	*a = arrival{rx: rx, tx: tx, powerDBm: powerDBm}
+	return a
+}
+
+func (m *Medium) releaseArrival(a *arrival) {
+	*a = arrival{}
+	m.freeArrivals = append(m.freeArrivals, a)
+}
+
+func (m *Medium) newTransmission(from *Radio, f *frame.Frame, rate phy.Rate, end time.Duration) *transmission {
+	var tx *transmission
+	if n := len(m.freeTx); n > 0 {
+		tx = m.freeTx[n-1]
+		m.freeTx = m.freeTx[:n-1]
+	} else {
+		tx = new(transmission)
+	}
+	*tx = transmission{from: from, f: f, rate: rate, end: end}
+	return tx
+}
+
+func (m *Medium) releaseTransmission(tx *transmission) {
+	*tx = transmission{}
+	m.freeTx = append(m.freeTx, tx)
 }
 
 // AddRadio attaches a radio at pos with the given profile and handler.
-// The id must be unique; it keys the fading process.
+// The id must be unique; it keys the fading process and the spatial
+// index.
 func (m *Medium) AddRadio(id uint32, pos phy.Position, profile *phy.Profile, h Handler) *Radio {
-	for _, r := range m.radios {
-		if r.id == id {
-			panic(fmt.Sprintf("medium: duplicate radio id %d", id))
-		}
+	if _, dup := m.byID[id]; dup {
+		panic(fmt.Sprintf("medium: duplicate radio id %d", id))
 	}
 	r := &Radio{
-		id:       id,
-		m:        m,
-		pos:      pos,
-		profile:  profile,
-		handler:  h,
-		arrivals: make(map[*transmission]float64),
+		id:      id,
+		m:       m,
+		pos:     pos,
+		profile: profile,
+		handler: h,
 	}
+	r.txEnd.r = r
+	m.byID[id] = r
 	m.radios = append(m.radios, r)
+	m.indexDirty = true
 	return r
 }
 
@@ -149,8 +347,15 @@ func (r *Radio) ID() uint32 { return r.id }
 func (r *Radio) Pos() phy.Position { return r.pos }
 
 // SetPos moves the radio (mobility support). Takes effect for
-// transmissions that begin after the move.
-func (r *Radio) SetPos(p phy.Position) { r.pos = p }
+// transmissions that begin after the move. The spatial index follows
+// incrementally: a move within the radio's current grid cell is O(1)
+// bookkeeping, and only a cell-boundary crossing relocates it.
+func (r *Radio) SetPos(p phy.Position) {
+	r.pos = p
+	if m := r.m; m.index != nil && !m.indexDirty {
+		m.index.Move(r.id, p)
+	}
+}
 
 // Profile returns the radio's PHY profile.
 func (r *Radio) Profile() *phy.Profile { return r.profile }
@@ -172,9 +377,10 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 	if !rate.Valid() {
 		panic(fmt.Sprintf("medium: invalid rate %d", rate))
 	}
-	now := r.m.sched.Now()
+	m := r.m
+	now := m.sched.Now()
 	air := f.AirTime(rate)
-	r.m.Transmissions++
+	m.Transmissions++
 	r.FramesSent++
 
 	// Half-duplex: abandon any lock; the abandoned frame still occupies
@@ -184,32 +390,50 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 	r.state = stateTransmit
 	r.updateCCA()
 
-	tx := &transmission{from: r, f: f, rate: rate, end: now + air}
-	for _, rx := range r.m.radios {
-		if rx == r {
-			continue
+	tx := m.newTransmission(r, f, rate, now+air)
+	m.ensureIndex()
+	if m.index == nil {
+		for _, rx := range m.radios {
+			m.propagate(tx, r, rx, now, air)
 		}
-		rx := rx
-		d := phy.Dist(r.pos, rx.pos)
-		p := r.profile.RxPowerDBm(r.m.src, uint64(r.id), uint64(rx.id), d, now)
-		if p < rx.profile.NoiseFloorDBm-irrelevantMarginDB {
-			// The frame arrives so far under this receiver's noise floor
-			// that it cannot shift any CCA, lock, or SINR decision; skip
-			// the arrival bookkeeping entirely. In sparse wide-area
-			// topologies this turns the per-transmission event cost from
-			// O(radios) into O(radios within earshot).
-			continue
+	} else {
+		// Candidate cells are visited in deterministic grid order; the
+		// gathered ids are then dispatched ascending, which coincides
+		// with the exhaustive path's insertion order for node-built
+		// networks (ids are assigned sequentially), keeping fixed-seed
+		// runs bit-identical across the index.
+		ids := m.index.AppendWithin(m.candidates[:0], r.pos, r.reach)
+		slices.Sort(ids)
+		m.candidates = ids
+		for _, id := range ids {
+			m.propagate(tx, r, m.byID[id], now, air)
 		}
-		r.m.sched.At(now+phy.PropDelay, func() { rx.arrivalStart(tx, p) })
-		r.m.sched.At(now+air+phy.PropDelay, func() { rx.arrivalEnd(tx) })
 	}
-	r.txEndPending = r.m.sched.At(now+air, func() {
-		r.state = stateListen
-		r.txEndPending = nil
-		r.updateCCA()
-		r.handler.TxDone()
-	})
+	r.txEndPending = m.sched.AtAction(now+air, &r.txEnd)
+	if tx.refs == 0 {
+		// Nobody in earshot: the descriptor never entered any receiver's
+		// bookkeeping.
+		m.releaseTransmission(tx)
+	}
 	return air
+}
+
+// propagate schedules tx's leading and trailing edges at rx, unless the
+// frame arrives so far under rx's noise floor that it cannot shift any
+// CCA, lock, or SINR decision there.
+func (m *Medium) propagate(tx *transmission, from, rx *Radio, now, air time.Duration) {
+	if rx == from {
+		return
+	}
+	d := phy.Dist(from.pos, rx.pos)
+	p := from.profile.RxPowerDBm(m.src, uint64(from.id), uint64(rx.id), d, now)
+	if p < rx.profile.NoiseFloorDBm-IrrelevantMarginDB {
+		return
+	}
+	tx.refs++
+	a := m.newArrival(rx, tx, p)
+	m.sched.AtAction(now+phy.PropDelay, a)
+	m.sched.AtAction(now+air+phy.PropDelay, a)
 }
 
 // DebugArrival, when set, observes every arrival edge (test hook).
@@ -218,7 +442,7 @@ var DebugArrival func(rx uint32, from uint32, powerDBm float64, state string)
 // arrivalStart handles the leading edge of a transmission reaching this
 // radio.
 func (r *Radio) arrivalStart(tx *transmission, powerDBm float64) {
-	r.arrivals[tx] = powerDBm
+	r.arrivals = append(r.arrivals, arrivalEntry{tx: tx, dbm: powerDBm, mw: phy.DBmToMilliwatt(powerDBm)})
 	prof := r.profile
 	if DebugArrival != nil {
 		st := "listen-unlocked"
@@ -273,9 +497,9 @@ func (r *Radio) lock(tx *transmission, powerDBm float64) {
 // the whole reception.
 func (r *Radio) noteInterference() {
 	var mw float64
-	for tx, p := range r.arrivals {
-		if tx != r.locked {
-			mw += phy.DBmToMilliwatt(p)
+	for _, a := range r.arrivals {
+		if a.tx != r.locked {
+			mw += a.mw
 		}
 	}
 	if mw > r.maxInterfMW {
@@ -286,9 +510,9 @@ func (r *Radio) noteInterference() {
 // interferenceFloorDBm returns noise + all arrivals except tx, in dBm.
 func (r *Radio) interferenceFloorDBm(except *transmission) float64 {
 	mw := phy.DBmToMilliwatt(r.profile.NoiseFloorDBm)
-	for tx, p := range r.arrivals {
-		if tx != except {
-			mw += phy.DBmToMilliwatt(p)
+	for _, a := range r.arrivals {
+		if a.tx != except {
+			mw += a.mw
 		}
 	}
 	return phy.MilliwattToDBm(mw)
@@ -296,7 +520,17 @@ func (r *Radio) interferenceFloorDBm(except *transmission) float64 {
 
 // arrivalEnd handles the trailing edge of a transmission at this radio.
 func (r *Radio) arrivalEnd(tx *transmission) {
-	delete(r.arrivals, tx)
+	for i := range r.arrivals {
+		if r.arrivals[i].tx == tx {
+			// Remove preserving arrival order, so later sums stay a pure
+			// function of the remaining arrival sequence.
+			last := len(r.arrivals) - 1
+			copy(r.arrivals[i:], r.arrivals[i+1:])
+			r.arrivals[last] = arrivalEntry{}
+			r.arrivals = r.arrivals[:last]
+			break
+		}
+	}
 	if r.locked == tx {
 		r.locked = nil
 		ok := r.verdict(tx)
@@ -336,10 +570,10 @@ func (r *Radio) verdict(tx *transmission) bool {
 // energy-detect threshold.
 func (r *Radio) updateCCA() {
 	busy := r.state == stateTransmit || r.locked != nil
-	if !busy {
+	if !busy && len(r.arrivals) > 0 {
 		var mw float64
-		for _, p := range r.arrivals {
-			mw += phy.DBmToMilliwatt(p)
+		for _, a := range r.arrivals {
+			mw += a.mw
 		}
 		busy = mw >= phy.DBmToMilliwatt(r.profile.CCAThresholdDBm)
 	}

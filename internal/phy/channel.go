@@ -54,8 +54,30 @@ type Fading struct {
 	StaticSigmaDB float64
 }
 
+// MaxShadowSigmas bounds each normal shadowing deviate to ±8σ. Measured
+// shadowing distributions have bounded support — a draw eight standard
+// deviations out is not a physical channel state but a numerical
+// artifact of the Box-Muller tail — and a hard bound is what makes the
+// fading process spatially indexable: it caps the power any transmission
+// can deliver at a given distance, so the medium can derive a finite
+// relevance radius (Profile.ReachRange) and skip all radios beyond it
+// without ever disagreeing with an exhaustive per-radio evaluation. The
+// truncation is statistically invisible (P(|z| > 8) ≈ 1.2e-15 per draw).
+const MaxShadowSigmas = 8
+
+// clampNorm truncates a standard normal deviate to ±MaxShadowSigmas.
+func clampNorm(z float64) float64 {
+	if z > MaxShadowSigmas {
+		return MaxShadowSigmas
+	}
+	if z < -MaxShadowSigmas {
+		return -MaxShadowSigmas
+	}
+	return z
+}
+
 // ShadowDB returns the shadowing offset in dB for the directed link
-// tx→rx at simulated time now.
+// tx→rx at simulated time now. The offset is bounded by ±MaxShadowDB.
 func (f Fading) ShadowDB(src *sim.Source, tx, rx uint64, now time.Duration) float64 {
 	if f.SigmaDB == 0 && f.StaticSigmaDB == 0 {
 		return 0
@@ -66,16 +88,23 @@ func (f Fading) ShadowDB(src *sim.Source, tx, rx uint64, now time.Duration) floa
 	}
 	var db float64
 	if f.StaticSigmaDB != 0 {
-		db = f.StaticSigmaDB * src.HashNorm(0x57a71c, a, b)
+		db = f.StaticSigmaDB * clampNorm(src.HashNorm(0x57a71c, a, b))
 	}
 	if f.SigmaDB != 0 {
 		var epoch uint64
 		if f.Coherence > 0 {
 			epoch = uint64(now / f.Coherence)
 		}
-		db += f.SigmaDB * src.HashNorm(0xfade, a, b, epoch)
+		db += f.SigmaDB * clampNorm(src.HashNorm(0xfade, a, b, epoch))
 	}
 	return db
+}
+
+// MaxShadowDB returns the largest shadowing offset ShadowDB can ever
+// produce for this fading model: the bound that turns "could this frame
+// matter at that receiver?" into a pure distance test.
+func (f Fading) MaxShadowDB() float64 {
+	return MaxShadowSigmas * (math.Abs(f.SigmaDB) + math.Abs(f.StaticSigmaDB))
 }
 
 // Profile is the complete radio model of one class of 802.11b NIC plus
@@ -203,6 +232,20 @@ func (p *Profile) MedianRange(r Rate) float64 {
 // equals the CCA energy-detect threshold (the median PCS_range).
 func (p *Profile) CarrierSenseRange() float64 {
 	return p.PathLoss.RangeFor(p.TxPowerDBm - p.CCAThresholdDBm)
+}
+
+// ReachRange returns the maximum distance at which a transmission from
+// this profile can arrive with instantaneous power ≥ thresholdDBm, under
+// the most favorable shadowing draw the fading model admits
+// (Fading.MaxShadowDB). Beyond this distance the received power is
+// certainly below the threshold, whatever the fade — the guarantee the
+// medium's spatial index is built on. The returned distance carries a
+// small guard band (+0.1 %, +1 m) so that floating-point round-off in
+// the loss/range inversion can never exclude a boundary receiver that a
+// direct power computation would include.
+func (p *Profile) ReachRange(thresholdDBm float64) float64 {
+	d := p.PathLoss.RangeFor(p.TxPowerDBm + p.Fading.MaxShadowDB() - thresholdDBm)
+	return d*1.001 + 1
 }
 
 // LossProbability returns the analytic probability that a frame at rate r

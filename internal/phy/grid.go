@@ -1,0 +1,175 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// cellKey addresses one square cell of a CellIndex: the integer floor of
+// the position divided by the cell size, per axis.
+type cellKey struct{ cx, cy int32 }
+
+// CellIndex is a uniform spatial hash grid over identified positions —
+// the neighbor index the medium uses to find every radio a transmission
+// could possibly matter to without touching the radios it cannot.
+//
+// The grid is unbounded: cells exist only while occupied, so the index
+// costs memory proportional to the station count, not the field area.
+// Within each cell, ids are kept sorted ascending; queries visit cells
+// in deterministic row-major order (cy, then cx, ascending). Together
+// this makes every query's output a pure function of the current
+// id→position map — independent of insertion history, Go map iteration
+// order, and past Move calls — which is what lets fixed-seed simulation
+// runs stay bit-identical.
+//
+// CellIndex is not safe for concurrent use, matching the
+// single-goroutine simulation kernel it serves.
+type CellIndex struct {
+	cell  float64
+	cells map[cellKey][]uint32
+	where map[uint32]cellKey
+}
+
+// NewCellIndex returns an empty index with the given cell size in
+// meters. The caller picks the cell size from its query radius; the
+// medium uses the maximum relevance radius, so any query touches at
+// most a 3×3 block of cells.
+func NewCellIndex(cellSize float64) *CellIndex {
+	if !(cellSize > 0) || math.IsInf(cellSize, 1) {
+		panic(fmt.Sprintf("phy: cell size %v must be positive and finite", cellSize))
+	}
+	return &CellIndex{
+		cell:  cellSize,
+		cells: make(map[cellKey][]uint32),
+		where: make(map[uint32]cellKey),
+	}
+}
+
+// CellSize returns the cell edge length in meters.
+func (ix *CellIndex) CellSize() float64 { return ix.cell }
+
+// Len returns the number of indexed ids.
+func (ix *CellIndex) Len() int { return len(ix.where) }
+
+// keyFor maps a position to its cell.
+func (ix *CellIndex) keyFor(p Position) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / ix.cell)),
+		cy: int32(math.Floor(p.Y / ix.cell)),
+	}
+}
+
+// Insert adds id at position p. Inserting an id twice panics: the caller
+// owns id uniqueness (the medium enforces it at AddRadio).
+func (ix *CellIndex) Insert(id uint32, p Position) {
+	if _, ok := ix.where[id]; ok {
+		panic(fmt.Sprintf("phy: CellIndex already holds id %d", id))
+	}
+	k := ix.keyFor(p)
+	ix.where[id] = k
+	ix.cells[k] = insertSorted(ix.cells[k], id)
+}
+
+// Move updates id's position, relocating it between cells only when the
+// move actually crosses a cell boundary — the common mobility tick stays
+// O(1) with no slice churn.
+func (ix *CellIndex) Move(id uint32, p Position) {
+	old, ok := ix.where[id]
+	if !ok {
+		panic(fmt.Sprintf("phy: CellIndex.Move of unknown id %d", id))
+	}
+	k := ix.keyFor(p)
+	if k == old {
+		return
+	}
+	ix.cells[old] = removeSorted(ix.cells[old], id)
+	if len(ix.cells[old]) == 0 {
+		delete(ix.cells, old)
+	}
+	ix.where[id] = k
+	ix.cells[k] = insertSorted(ix.cells[k], id)
+}
+
+// Remove deletes id from the index. Removing an unknown id is a no-op.
+// The medium never detaches radios today; Remove completes the index's
+// surface for the dynamic-membership media (station churn, sharding)
+// the roadmap points at.
+func (ix *CellIndex) Remove(id uint32) {
+	k, ok := ix.where[id]
+	if !ok {
+		return
+	}
+	delete(ix.where, id)
+	ix.cells[k] = removeSorted(ix.cells[k], id)
+	if len(ix.cells[k]) == 0 {
+		delete(ix.cells, k)
+	}
+}
+
+// AppendWithin appends to dst the ids of every indexed position within
+// radius meters of center, and returns the extended slice. It
+// over-approximates at cell granularity: every id within the radius is
+// returned, plus possibly some ids in partially-overlapping cells that
+// lie just beyond it — callers that need the exact disc filter by true
+// distance (the medium does so implicitly through the received-power
+// cut). Passing a reused buffer as dst makes the query allocation-free
+// in steady state.
+//
+// Cells are visited in row-major (cy, cx) order and each cell's ids are
+// sorted ascending, so the output order is deterministic.
+func (ix *CellIndex) AppendWithin(dst []uint32, center Position, radius float64) []uint32 {
+	if !(radius >= 0) {
+		return dst
+	}
+	c := ix.cell
+	cx0 := int32(math.Floor((center.X - radius) / c))
+	cx1 := int32(math.Floor((center.X + radius) / c))
+	cy0 := int32(math.Floor((center.Y - radius) / c))
+	cy1 := int32(math.Floor((center.Y + radius) / c))
+	r2 := radius * radius
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			ids := ix.cells[cellKey{cx, cy}]
+			if len(ids) == 0 {
+				continue
+			}
+			// Skip cells whose nearest point is beyond the radius: the
+			// bounding box visits corner cells the disc cannot touch.
+			nx := clampF(center.X, float64(cx)*c, float64(cx+1)*c)
+			ny := clampF(center.Y, float64(cy)*c, float64(cy+1)*c)
+			dx, dy := nx-center.X, ny-center.Y
+			if dx*dx+dy*dy > r2 {
+				continue
+			}
+			dst = append(dst, ids...)
+		}
+	}
+	return dst
+}
+
+// clampF clamps v into [lo, hi].
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// insertSorted inserts id into the ascending slice ids.
+func insertSorted(ids []uint32, id uint32) []uint32 {
+	i, _ := slices.BinarySearch(ids, id)
+	return slices.Insert(ids, i, id)
+}
+
+// removeSorted deletes id from the ascending slice ids.
+func removeSorted(ids []uint32, id uint32) []uint32 {
+	i, found := slices.BinarySearch(ids, id)
+	if !found {
+		return ids
+	}
+	return slices.Delete(ids, i, i+1)
+}

@@ -35,10 +35,13 @@ type Instance struct {
 // flow's source in flow order.
 func Build(spec Spec) (*Instance, error) {
 	spec = spec.withDefaults()
-	positions, err := spec.check()
+	positions, flows, err := spec.check()
 	if err != nil {
 		return nil, err
 	}
+	// The instance carries the resolved flow matrix (NearestDst pairs
+	// bound to this topology draw), so results report real endpoints.
+	spec.Flows = flows
 
 	netProfile := spec.CustomProfile
 	if netProfile == nil {

@@ -99,6 +99,17 @@ func presets() []Spec {
 			},
 		},
 		{
+			Name: "grid-32x32",
+			Description: "1024 stations on a 32×32 grid with 110 m spacing at 1 Mbit/s, eight paced neighbor flows " +
+				"spread across the field: a city-scale hidden-terminal fabric (two-hop pairs sit beyond PCS_range)",
+			Seed:     42,
+			Duration: Duration(5 * time.Second),
+			Topology: Topology{Kind: KindGrid, Rows: 32, Cols: 32, Spacing: 110},
+			MAC:      MACParams{RateMbps: 1},
+			Flows:    gridNeighborFlows(32, 8),
+		},
+		random1024(),
+		{
 			Name: "mobile-pair",
 			Description: "a static sink and a random-waypoint walker on a 300×300 m field at 1 Mbit/s paced CBR: " +
 				"the §3.2 mobility consequence — goodput tracks the walker's distance",
@@ -112,6 +123,56 @@ func presets() []Spec {
 			Mobility: &Mobility{Model: ModelRandomWaypoint, Width: 300, Height: 300, Stations: []int{1}},
 		},
 	}
+}
+
+// gridNeighborFlows returns count paced single-hop UDP flows between
+// horizontal grid neighbors, spread evenly over a side×side grid so the
+// sessions land in distinct carrier-sense domains.
+func gridNeighborFlows(side, count int) []Flow {
+	flows := make([]Flow, 0, count)
+	for i := 0; i < count; i++ {
+		// One flow every few rows, staggered across columns so no two
+		// flows share a column band.
+		row := i * side / count
+		col := (i * 7) % (side - 1)
+		src := row*side + col
+		flows = append(flows, Flow{
+			Src: src, Dst: src + 1,
+			Transport:  TransportUDP,
+			PacketSize: 512,
+			Interval:   Duration(20 * time.Millisecond),
+			Port:       uint16(9000 + i),
+		})
+	}
+	return flows
+}
+
+// random1024 builds the random-1024 preset. On a random field only the
+// drawn layout knows which stations are neighbors, so the flows declare
+// NearestDst and the engine pairs each of the eight spread-out sources
+// with its nearest station at build time — overriding -seed re-draws
+// the field *and* re-pairs the flows, so every seed measures viable
+// links.
+func random1024() Spec {
+	s := Spec{
+		Name: "random-1024",
+		Description: "1024 stations scattered uniformly over a 3.4×3.4 km field at 1 Mbit/s, eight paced " +
+			"nearest-neighbor flows: the sparse city-scale regime the spatial medium index is built for",
+		Seed:     42,
+		Duration: Duration(5 * time.Second),
+		Topology: Topology{Kind: KindRandomUniform, N: 1024, Width: 3400, Height: 3400},
+		MAC:      MACParams{RateMbps: 1},
+	}
+	for i := 0; i < 8; i++ {
+		s.Flows = append(s.Flows, Flow{
+			Src: i * 1024 / 8, NearestDst: true,
+			Transport:  TransportUDP,
+			PacketSize: 512,
+			Interval:   Duration(20 * time.Millisecond),
+			Port:       uint16(9000 + i),
+		})
+	}
+	return s
 }
 
 // Presets lists the built-in scenario library, sorted by name.

@@ -9,13 +9,19 @@ import (
 
 // FlowSummary aggregates one flow's metrics over replications.
 type FlowSummary struct {
-	Flow      int            `json:"flow"`
-	Src       int            `json:"src"`
-	Dst       int            `json:"dst"`
-	Transport Transport      `json:"transport"`
-	Kbps      runner.Summary `json:"kbps"`
-	Retries   runner.Summary `json:"retries"`
-	Gaps      runner.Summary `json:"gaps"`
+	Flow int `json:"flow"`
+	Src  int `json:"src"`
+	// Dst is the flow's destination station. For a NearestDst flow on a
+	// random topology every replication re-draws the field and re-pairs
+	// the flow, so no single destination describes the aggregate; Dst is
+	// then -1 and NearestDst is set (per-replication endpoints are in
+	// Summary.Runs).
+	Dst        int            `json:"dst"`
+	NearestDst bool           `json:"nearest_dst,omitempty"`
+	Transport  Transport      `json:"transport"`
+	Kbps       runner.Summary `json:"kbps"`
+	Retries    runner.Summary `json:"retries"`
+	Gaps       runner.Summary `json:"gaps"`
 }
 
 // Summary aggregates a replicated scenario: per-flow goodput/retry/loss
@@ -64,7 +70,7 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 	}
 	for i := range runs[0].Flows {
 		i := i
-		sum.Flows = append(sum.Flows, FlowSummary{
+		fs := FlowSummary{
 			Flow:      i,
 			Src:       runs[0].Flows[i].Src,
 			Dst:       runs[0].Flows[i].Dst,
@@ -72,7 +78,22 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 			Kbps:      runner.SummarizeBy(runs, func(r Result) float64 { return r.Flows[i].GoodputKbps }),
 			Retries:   runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Flows[i].Retries) }),
 			Gaps:      runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Flows[i].Gaps) }),
-		})
+		}
+		if len(spec.Flows) > i && spec.Flows[i].NearestDst {
+			// When seed-dependent topology re-draws paired this flow to
+			// different stations across replications, replication 0's
+			// destination would misattribute the aggregate to a link the
+			// other runs never used. When every replication resolved to
+			// the same station, that one real destination stands.
+			for _, r := range runs[1:] {
+				if r.Flows[i].Dst != runs[0].Flows[i].Dst {
+					fs.Dst = -1
+					fs.NearestDst = true
+					break
+				}
+			}
+		}
+		sum.Flows = append(sum.Flows, fs)
 	}
 	return sum, nil
 }
@@ -85,8 +106,12 @@ func Render(s Summary) string {
 	fmt.Fprintf(&b, "%-6s %-10s %-12s %-18s %-14s %s\n",
 		"flow", "route", "transport", "goodput [kbit/s]", "retries", "gaps")
 	for _, f := range s.Flows {
+		route := fmt.Sprintf("%d→%d", f.Src, f.Dst)
+		if f.NearestDst {
+			route = fmt.Sprintf("%d→nearest", f.Src)
+		}
 		fmt.Fprintf(&b, "%-6d %-10s %-12s %8.1f ± %-7.1f %6.1f ± %-5.1f %6.1f\n",
-			f.Flow, fmt.Sprintf("%d→%d", f.Src, f.Dst), f.Transport,
+			f.Flow, route, f.Transport,
 			f.Kbps.Mean, f.Kbps.CI95, f.Retries.Mean, f.Retries.CI95, f.Gaps.Mean)
 	}
 	fmt.Fprintf(&b, "Jain fairness: %.3f ± %.3f\n", s.Fairness.Mean, s.Fairness.CI95)

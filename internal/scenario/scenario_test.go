@@ -390,6 +390,139 @@ func TestPresetsAllValid(t *testing.T) {
 	}
 }
 
+// TestLargeScalePresetsGeometry pins the two 1024-station presets: full
+// station counts, and flow endpoints that can actually communicate (the
+// random field's flows are nearest-neighbor pairs by construction).
+func TestLargeScalePresetsGeometry(t *testing.T) {
+	prof := phy.DefaultProfile()
+	for _, name := range []string{"grid-32x32", "random-1024"} {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos, err := spec.Topology.Expand(spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pos) != 1024 {
+			t.Fatalf("%s expands to %d stations, want 1024", name, len(pos))
+		}
+		// Compile (but don't run): the engine accepts the scale, and
+		// Build resolves any NearestDst pairings against the topology.
+		inst, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(inst.Net.Stations); got != 1024 {
+			t.Fatalf("%s built network has %d stations, want 1024", name, got)
+		}
+		if len(inst.Spec.Flows) != 8 {
+			t.Fatalf("%s has %d flows, want 8", name, len(inst.Spec.Flows))
+		}
+		for i, f := range inst.Spec.Flows {
+			if d := phy.Dist(pos[f.Src], pos[f.Dst]); d > prof.MedianRange(phy.Rate1) {
+				t.Errorf("%s flow %d spans %.0f m, beyond the 1 Mbit/s median range %.0f m", name, i, d, prof.MedianRange(phy.Rate1))
+			}
+		}
+	}
+}
+
+// TestNearestDstResolution pins the NearestDst flow contract: the engine
+// binds the destination to the station truly nearest the source in the
+// *effective* topology draw — re-seeding a spec re-pairs its flows, so
+// a seed sweep of a random-field preset always measures viable links.
+func TestNearestDstResolution(t *testing.T) {
+	spec, err := Preset("random-1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{42, 99} {
+		spec.Seed = seed
+		pos, err := spec.Topology.Expand(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range inst.Spec.Flows {
+			want, best := -1, math.Inf(1)
+			for j, p := range pos {
+				if j == f.Src {
+					continue
+				}
+				if d := phy.Dist(pos[f.Src], p); d < best {
+					want, best = j, d
+				}
+			}
+			if f.Dst != want {
+				t.Fatalf("seed %d flow %d resolved to %d, nearest is %d (%.0f m)", seed, i, f.Dst, want, best)
+			}
+			if f.NearestDst {
+				t.Fatalf("seed %d flow %d still flagged NearestDst after resolution", seed, i)
+			}
+		}
+	}
+
+	// Conflicting dst + nearest_dst fails validation loudly.
+	bad := validSpec()
+	bad.Flows[0].NearestDst = true
+	bad.Flows[0].Dst = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nearest_dst with explicit dst did not error")
+	}
+
+	// A nearest_dst flow sharing a port with any other flow must fail at
+	// validation, seed-independently: on a random field another seed
+	// could resolve both flows to the same sink, and a replication sweep
+	// would otherwise crash mid-run on the clash.
+	clash := Spec{
+		Name:     "clash",
+		Seed:     5,
+		Topology: Topology{Kind: KindRandomUniform, N: 16, Width: 200, Height: 200},
+		Flows: []Flow{
+			{Src: 0, NearestDst: true},
+			{Src: 8, NearestDst: true}, // same default port 9000
+		},
+	}
+	if err := clash.Validate(); err == nil {
+		t.Fatal("nearest_dst flows sharing a port did not error")
+	}
+}
+
+// TestNearestDstReplicateLabeling: a multi-replication summary must not
+// attribute a NearestDst flow's aggregate to replication 0's pairing —
+// each replication re-drew the field — while a single-replication
+// summary keeps the one real destination.
+func TestNearestDstReplicateLabeling(t *testing.T) {
+	spec := Spec{
+		Name:     "nn",
+		Seed:     5,
+		Duration: Duration(200 * time.Millisecond),
+		Topology: Topology{Kind: KindRandomUniform, N: 16, Width: 200, Height: 200},
+		MAC:      MACParams{RateMbps: 1},
+		Flows:    []Flow{{Src: 0, NearestDst: true, Interval: Duration(50 * time.Millisecond)}},
+	}
+	multi, err := Replicate(spec, 3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := multi.Flows[0]; f.Dst != -1 || !f.NearestDst {
+		t.Fatalf("multi-rep summary claims dst %d (nearest=%v), want -1/true", f.Dst, f.NearestDst)
+	}
+	if got := Render(multi); !strings.Contains(got, "0→nearest") {
+		t.Fatalf("render does not mark the nearest-dst flow:\n%s", got)
+	}
+	single, err := Replicate(spec, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := single.Flows[0]; f.Dst < 0 || f.NearestDst {
+		t.Fatalf("single-rep summary lost its resolved dst: %+v", f)
+	}
+}
+
 func TestHiddenTerminalGeometry(t *testing.T) {
 	spec, err := Preset("hidden-terminal")
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"adhocsim/internal/mac"
@@ -148,6 +149,12 @@ type Flow struct {
 	// Src and Dst are 0-based station indices into the topology.
 	Src int `json:"src"`
 	Dst int `json:"dst"`
+	// NearestDst, when true, ignores Dst (which must be zero) and
+	// resolves the destination at build time to the station nearest Src
+	// in the expanded topology. On random topologies this is the only
+	// way to declare a flow that is guaranteed a viable link whatever
+	// the seed draws — re-seeding a spec re-pairs its flows.
+	NearestDst bool `json:"nearest_dst,omitempty"`
 	// Transport selects the workload: "udp" is a CBR source (saturating
 	// when Interval is zero, paced otherwise), "tcp" a saturating bulk
 	// transfer. Defaults to "udp".
@@ -296,44 +303,51 @@ func (s Spec) withDefaults() Spec {
 // validates automatically; Validate exists for early feedback when
 // authoring specs.
 func (s Spec) Validate() error {
-	_, err := s.withDefaults().check()
+	_, _, err := s.withDefaults().check()
 	return err
 }
 
 // check validates an already-defaulted spec and returns the expanded
-// topology, so Build validates and expands exactly once.
-func (s Spec) check() ([]phy.Position, error) {
+// topology plus the flow matrix with every NearestDst destination
+// resolved against it, so Build validates, expands and resolves exactly
+// once.
+func (s Spec) check() ([]phy.Position, []Flow, error) {
 	positions, err := s.Topology.Expand(s.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	flows, err := resolveFlows(s.Flows, positions)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.Flows = flows
 	n := len(positions)
 	if _, err := profileByName(s.Profile); err != nil && s.CustomProfile == nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := s.MAC.Config(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	overridden := make(map[int]bool, len(s.Stations))
 	for _, ov := range s.Stations {
 		if ov.Station < 0 || ov.Station >= n {
-			return nil, fmt.Errorf("scenario: station override %d outside topology of %d stations", ov.Station, n)
+			return nil, nil, fmt.Errorf("scenario: station override %d outside topology of %d stations", ov.Station, n)
 		}
 		if overridden[ov.Station] {
-			return nil, fmt.Errorf("scenario: station %d overridden twice", ov.Station)
+			return nil, nil, fmt.Errorf("scenario: station %d overridden twice", ov.Station)
 		}
 		overridden[ov.Station] = true
 		if ov.MAC != nil {
 			if _, err := ov.MAC.Config(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if _, err := profileByName(ov.Profile); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if len(s.Flows) == 0 {
-		return nil, fmt.Errorf("scenario: no flows")
+		return nil, nil, fmt.Errorf("scenario: no flows")
 	}
 	type sinkKey struct {
 		dst  int
@@ -342,45 +356,94 @@ func (s Spec) check() ([]phy.Position, error) {
 	sinks := map[sinkKey]int{}
 	for i, f := range s.Flows {
 		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
-			return nil, fmt.Errorf("scenario: flow %d endpoints %d→%d outside topology of %d stations", i, f.Src, f.Dst, n)
+			return nil, nil, fmt.Errorf("scenario: flow %d endpoints %d→%d outside topology of %d stations", i, f.Src, f.Dst, n)
 		}
 		if f.Src == f.Dst {
-			return nil, fmt.Errorf("scenario: flow %d sends to itself (station %d)", i, f.Src)
+			return nil, nil, fmt.Errorf("scenario: flow %d sends to itself (station %d)", i, f.Src)
 		}
 		if f.Transport != TransportUDP && f.Transport != TransportTCP {
-			return nil, fmt.Errorf("scenario: flow %d has unknown transport %q", i, f.Transport)
+			return nil, nil, fmt.Errorf("scenario: flow %d has unknown transport %q", i, f.Transport)
 		}
 		if f.PacketSize < 0 || f.PacketSize > mac.MaxMSDU {
-			return nil, fmt.Errorf("scenario: flow %d packet size %d outside (0, %d]", i, f.PacketSize, mac.MaxMSDU)
+			return nil, nil, fmt.Errorf("scenario: flow %d packet size %d outside (0, %d]", i, f.PacketSize, mac.MaxMSDU)
 		}
 		if f.Interval < 0 {
-			return nil, fmt.Errorf("scenario: flow %d has negative interval", i)
+			return nil, nil, fmt.Errorf("scenario: flow %d has negative interval", i)
 		}
 		k := sinkKey{f.Dst, f.Port}
 		if prev, clash := sinks[k]; clash {
-			return nil, fmt.Errorf("scenario: flows %d and %d both terminate at station %d port %d", prev, i, f.Dst, f.Port)
+			return nil, nil, fmt.Errorf("scenario: flows %d and %d both terminate at station %d port %d", prev, i, f.Dst, f.Port)
 		}
 		sinks[k] = i
 	}
 	if m := s.Mobility; m != nil {
 		if m.Model != ModelRandomWaypoint {
-			return nil, fmt.Errorf("scenario: unknown mobility model %q", m.Model)
+			return nil, nil, fmt.Errorf("scenario: unknown mobility model %q", m.Model)
 		}
 		seen := make(map[int]bool, len(m.Stations))
 		for _, st := range m.Stations {
 			if st < 0 || st >= n {
-				return nil, fmt.Errorf("scenario: mobility station %d outside topology of %d stations", st, n)
+				return nil, nil, fmt.Errorf("scenario: mobility station %d outside topology of %d stations", st, n)
 			}
 			if seen[st] {
-				return nil, fmt.Errorf("scenario: mobility station %d listed twice", st)
+				return nil, nil, fmt.Errorf("scenario: mobility station %d listed twice", st)
 			}
 			seen[st] = true
 		}
 	}
 	if s.Duration <= 0 {
-		return nil, fmt.Errorf("scenario: non-positive duration %v", s.Duration.D())
+		return nil, nil, fmt.Errorf("scenario: non-positive duration %v", s.Duration.D())
 	}
-	return positions, nil
+	return positions, s.Flows, nil
+}
+
+// resolveFlows returns the flow matrix with every NearestDst
+// destination replaced by the index of the station nearest that flow's
+// source in positions. The input slice is not mutated (check runs on a
+// defaulted copy, but Build keeps the resolved result).
+func resolveFlows(flows []Flow, positions []phy.Position) ([]Flow, error) {
+	resolved := flows
+	copied := false
+	for i, f := range flows {
+		if !f.NearestDst {
+			continue
+		}
+		if f.Dst != 0 {
+			return nil, fmt.Errorf("scenario: flow %d sets both nearest_dst and dst %d", i, f.Dst)
+		}
+		// A nearest_dst destination depends on the seed, so the usual
+		// sink-uniqueness check (same station, same port) could pass at
+		// one seed and clash at another — a replication sweep would then
+		// crash mid-run. Require the port to be unique across all flows,
+		// which is seed-independent and keeps every replication valid.
+		for j, other := range flows {
+			if j != i && other.Port == f.Port {
+				return nil, fmt.Errorf("scenario: nearest_dst flow %d must use a port unique across all flows: port %d is shared with flow %d, and the nearest destination varies with the seed", i, f.Port, j)
+			}
+		}
+		if f.Src < 0 || f.Src >= len(positions) {
+			return nil, fmt.Errorf("scenario: flow %d source %d outside topology of %d stations", i, f.Src, len(positions))
+		}
+		if len(positions) < 2 {
+			return nil, fmt.Errorf("scenario: flow %d needs a second station to pair with", i)
+		}
+		if !copied {
+			resolved = append([]Flow(nil), flows...)
+			copied = true
+		}
+		dst, best := -1, math.Inf(1)
+		for j, p := range positions {
+			if j == f.Src {
+				continue
+			}
+			if d := phy.Dist(positions[f.Src], p); d < best {
+				dst, best = j, d
+			}
+		}
+		resolved[i].Dst = dst
+		resolved[i].NearestDst = false
+	}
+	return resolved, nil
 }
 
 // ParseSpec decodes and validates a JSON scenario. Unknown fields are

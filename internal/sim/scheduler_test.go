@@ -66,14 +66,14 @@ func TestSchedulerCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	s.Cancel(e)   // double cancel is a no-op
-	s.Cancel(nil) // nil cancel is a no-op
+	s.Cancel(e)       // double cancel is a no-op
+	s.Cancel(Event{}) // zero-value cancel is a no-op
 }
 
 func TestSchedulerCancelMiddleOfHeap(t *testing.T) {
 	s := NewScheduler()
 	var order []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, s.At(time.Duration(i)*time.Millisecond, func() { order = append(order, i) }))
@@ -175,7 +175,7 @@ func TestSchedulerOrderingProperty(t *testing.T) {
 			seq int
 		}
 		var fired []rec
-		var events []*Event
+		var events []Event
 		var expect []rec
 		count := int(n%64) + 1
 		for i := 0; i < count; i++ {
@@ -210,6 +210,86 @@ func TestSchedulerOrderingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEventHandleSafeAcrossSlotReuse pins the generation-counter
+// contract of the pooled arena: a handle to a fired event stays inert —
+// not pending, cancel a no-op — even after its slot has been recycled
+// for a newer event.
+func TestEventHandleSafeAcrossSlotReuse(t *testing.T) {
+	s := NewScheduler()
+	stale := s.After(time.Millisecond, func() {})
+	s.Run()
+	if stale.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	// The next event must reuse the freed slot (single-slot arena).
+	fresh := s.After(time.Millisecond, func() {})
+	if !fresh.Pending() {
+		t.Fatal("fresh event not pending")
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle reports the recycled slot's new event as its own")
+	}
+	s.Cancel(stale) // must not cancel fresh
+	if !fresh.Pending() {
+		t.Fatal("cancelling a stale handle killed the slot's new event")
+	}
+	fired := 0
+	s.Reschedule(stale, s.Now()+time.Millisecond, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if got, want := fresh.At(), 2*time.Millisecond; got != want {
+		t.Fatalf("fresh.At() = %v, want %v (handle keeps its own timestamp)", got, want)
+	}
+}
+
+// countedAction is a pooled Action payload for the alloc-free tests.
+type countedAction struct {
+	s     *Scheduler
+	left  int
+	fired int
+}
+
+func (a *countedAction) Act() {
+	a.fired++
+	if a.left--; a.left > 0 {
+		a.s.AfterAction(time.Microsecond, a)
+	}
+}
+
+func TestSchedulerActions(t *testing.T) {
+	s := NewScheduler()
+	a := &countedAction{s: s, left: 50}
+	e := s.AfterAction(time.Microsecond, a)
+	if !e.Pending() {
+		t.Fatal("action event not pending")
+	}
+	s.Run()
+	if a.fired != 50 {
+		t.Fatalf("action fired %d times, want 50", a.fired)
+	}
+	if got, want := s.Now(), 50*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+// TestSchedulerSteadyStateAllocFree pins the kernel's zero-alloc
+// contract: once the arena and heap have warmed up, a
+// schedule-action/fire cycle performs no heap allocation.
+func TestSchedulerSteadyStateAllocFree(t *testing.T) {
+	s := NewScheduler()
+	a := &countedAction{s: s, left: 1 << 30}
+	s.AfterAction(time.Microsecond, a)
+	s.Step() // warm up: arena slot allocated, heap backing array grown
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocated %.1f times per event, want 0", allocs)
 	}
 }
 

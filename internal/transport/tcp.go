@@ -238,13 +238,13 @@ type Conn struct {
 	sampling bool
 	rttSeq   uint32
 	rttStart time.Duration
-	rtoEv    *sim.Event
+	rtoEv    sim.Event
 
 	// Receive side.
 	rcvNxt   uint32
 	ooo      map[uint32][]byte
 	acksOwed int
-	delackEv *sim.Event
+	delackEv sim.Event
 	finRcvd  bool
 
 	// Application hooks.
