@@ -19,6 +19,7 @@ import (
 	"adhocsim/internal/experiments"
 	"adhocsim/internal/mac"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/scenario"
 )
 
 const benchHorizon = 2 * time.Second
@@ -162,6 +163,72 @@ func BenchmarkFigure12Symmetric2Mbps(b *testing.B) {
 		cells = Figure12(uint64(i), benchHorizon)
 	}
 	reportFourNode(b, cells)
+}
+
+// --- Macro benchmarks ----------------------------------------------------
+
+// BenchmarkScenarioSteadyState measures the marginal cost of one more
+// replication of the full random-1024 preset — 1024 stations scattered
+// over a 3.4×3.4 km field, eight paced nearest-neighbor UDP flows, 5 s
+// horizon — on a reused arena: the network is built once outside the
+// timer and each iteration re-seeds it (Instance.Reset) and runs the
+// whole horizon with traffic, which is exactly the per-replication work
+// of a sweep. It is the macro counterpart of
+// BenchmarkMedium1024Stations: it exercises the whole stack (CBR → UDP
+// → network → MAC → medium → PHY) instead of the medium alone, so it
+// is the benchmark the PHY-arithmetic caches and the batch event
+// kernel are judged against (BENCH_PR4.json records before/after; the
+// before state had no Reset, so its per-replication cost necessarily
+// included a rebuild).
+func BenchmarkScenarioSteadyState(b *testing.B) {
+	spec, err := scenario.Preset("random-1024")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := scenario.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := inst.Spec.Duration.D()
+	var events, delivered uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inst.Reset(spec.Seed); err != nil {
+			b.Fatal(err)
+		}
+		inst.Net.Run(horizon)
+		res := inst.Collect(horizon)
+		events += inst.Net.Sched.Fired()
+		delivered = 0
+		for _, f := range res.Flows {
+			delivered += f.Received
+		}
+		if delivered == 0 {
+			b.Fatal("scenario delivered nothing: the bench is not exercising traffic")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(delivered), "pkts_delivered")
+}
+
+// BenchmarkScenarioReplicate measures a serial replication sweep of a
+// small saturating preset through the public Replicate entry point,
+// where per-replication network construction is a visible fraction of
+// the work — the case the arena-reuse path (build once per worker,
+// Reset per replication) is for.
+func BenchmarkScenarioReplicate(b *testing.B) {
+	spec, err := scenario.Preset("grid-3x3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Duration = scenario.Duration(time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Replicate(spec, 8, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablations -----------------------------------------------------------

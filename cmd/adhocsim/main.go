@@ -48,6 +48,7 @@ func main() {
 	progress := flag.Bool("progress", false, "stream run progress to stderr")
 	scen := flag.String("scenario", "", "run a declarative scenario: a spec .json file or a preset name (see -list-scenarios)")
 	listScen := flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
+	rebuild := flag.Bool("rebuild-each-rep", false, "verification: rebuild the network for every scenario replication instead of re-seeding each worker's arena (results are identical, only slower)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
@@ -56,6 +57,8 @@ func main() {
 	// Flush profiles on normal return and on panic alike; flushProfiles
 	// (not exit) so a panic keeps unwinding and prints its trace.
 	defer flushProfiles()
+
+	scenario.SetRebuildEachRep(*rebuild)
 
 	if *listScen {
 		listScenarios()

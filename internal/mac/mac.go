@@ -244,6 +244,53 @@ func (m *MAC) Attach(r *medium.Radio) {
 	}
 }
 
+// Reset returns an attached MAC to its just-attached state for a new
+// run: queue, DCF state machine, counters and sequence tracking clear,
+// the backoff rng is re-derived from src (which the caller has just
+// Reseed-ed), and beaconing re-arms if configured. The owning scheduler
+// must have been Reset first — the MAC's event handles are stale by
+// then, so they are simply dropped — and the radio must already be
+// Reset so carrier sense reads idle. The configuration (including any
+// RateControl) is retained; note an external rate controller carries
+// its own state, which Reset cannot reach — callers that need
+// bit-identical replications with rate control must rebuild instead
+// (scenario.Replicate already falls back for MACHook specs).
+func (m *MAC) Reset(src *sim.Source) {
+	if m.radio == nil {
+		panic("mac: Reset before Attach")
+	}
+	m.rng = src.Stream("mac.backoff." + m.cfg.Address.String())
+	clear(m.queue)
+	m.queue = m.queue[:0]
+	m.current = nil
+	m.st = stIdle
+	m.cw = phy.CWMin
+	m.backoff = -1
+	m.nav = 0
+	m.lastRxError = false
+	m.resumeEv = sim.Event{}
+	m.slotEv = sim.Event{}
+	m.navEv = sim.Event{}
+	m.timeoutEv = sim.Event{}
+	m.sifsEv = sim.Event{}
+	m.beaconEv = sim.Event{}
+	m.pendingResp = nil
+	m.respRate = 0
+	m.respInFlight = false
+	m.seq = 0
+	clear(m.rxSeq)
+	clear(m.rxSeqV)
+	m.Counters = Counters{}
+	// Mirror Attach's channel-state initialization and beacon arming, in
+	// the same order, so a Reset network schedules the same t=0 events
+	// as a freshly built one.
+	m.available = !m.radio.CCABusy()
+	m.availSince = m.sched.Now()
+	if m.cfg.BeaconInterval > 0 {
+		m.scheduleBeacon()
+	}
+}
+
 // Address returns the station's MAC address.
 func (m *MAC) Address() frame.Addr { return m.cfg.Address }
 

@@ -30,8 +30,12 @@
 // bit-identical with and without the index (see SetBruteForce).
 //
 // The per-transmission bookkeeping runs allocation-free in steady state:
-// arrival records and transmission descriptors are pooled, and both are
-// scheduled through sim.Scheduler's Action path rather than closures.
+// transmission descriptors are pooled and carry their receiver set
+// inline, and the leading/trailing propagation edges are scheduled as
+// two batch Actions per transmission (every receiver shares the same
+// edge instants) rather than a closure or event pair per receiver — so
+// the scheduler's pending set scales with transmissions in flight, not
+// with receivers in earshot.
 package medium
 
 import (
@@ -91,11 +95,17 @@ type Medium struct {
 	indexDirty bool
 	bruteForce bool
 
+	// gainCacheOff forces the direct per-arrival PHY computation, the
+	// pre-cache reference path (SetGainCache). The link-gain cache
+	// itself lives on each transmitting radio (Radio.gains), indexed by
+	// the receiver's dense slot, so a hot-path lookup is an array index
+	// rather than a map probe.
+	gainCacheOff bool
+
 	// Pools: reused across transmissions so the steady-state event flow
 	// allocates nothing.
-	freeArrivals []*arrival
-	freeTx       []*transmission
-	candidates   []uint32 // scratch buffer for index queries
+	freeTx     []*transmission
+	candidates []uint32 // scratch buffer for index queries
 
 	// Counters (aggregate, for experiments and tests).
 	Transmissions uint64
@@ -126,6 +136,135 @@ func (m *Medium) Now() time.Duration { return m.sched.Now() }
 func (m *Medium) SetBruteForce(on bool) {
 	m.bruteForce = on
 	m.indexDirty = true
+}
+
+// SetGainCache re-enables (true) or disables (false) the pairwise
+// link-gain cache, forcing every propagation back to the direct
+// per-arrival PHY computation — the pre-cache reference behaviour.
+// Like SetBruteForce it exists for verification: the equivalence tests
+// run the same seed with the cache on and off and require identical
+// metrics (including sim.Scheduler.Fired). Production callers never
+// need it. Re-enabling invalidates any stale entries.
+func (m *Medium) SetGainCache(on bool) {
+	m.gainCacheOff = !on
+	m.invalidateGains()
+}
+
+// invalidateGains marks every link-gain entry stale without releasing
+// the allocated per-transmitter slices.
+func (m *Medium) invalidateGains() {
+	for _, r := range m.radios {
+		for i := range r.gains {
+			r.gains[i].have = 0
+		}
+	}
+}
+
+// Reset returns the medium to its just-built state so a replication
+// sweep can re-seed a constructed network instead of rebuilding it:
+// aggregate counters clear, the spatial index is marked for rebuild,
+// and every link-gain cache entry is invalidated (its shadowing draws
+// depend on the run seed, which the owning sim.Source is about to
+// change). The arrival/transmission pools and the cache's allocated
+// entries are deliberately retained — reusing them is the point of the
+// arena. Radio placement and per-radio state are the caller's next
+// step, via Radio.Reset.
+func (m *Medium) Reset() {
+	m.Transmissions, m.Deliveries, m.PHYErrors = 0, 0, 0
+	m.indexDirty = true
+	m.invalidateGains()
+}
+
+// Link-gain cache -------------------------------------------------------
+
+// linkGain validity bits.
+const (
+	gainBase   uint8 = 1 << iota // baseDBm matches the radios' mobility epochs
+	gainStatic                   // staticDB drawn for this run
+	gainFade                     // fadeDB matches fadeEpoch
+	gainMW                       // mw matches the current composed power
+)
+
+// linkGain caches the deterministic pieces of one directed link's
+// received power, each stored exactly as first computed so cached and
+// direct results are bit-identical:
+//
+//   - baseDBm: transmit power minus log-distance path loss — a pure
+//     function of the two positions, invalidated by either radio's
+//     mobility epoch (bumped on SetPos). Static stations, the common
+//     case, never recompute the math.Log10.
+//   - staticDB: the per-run static shadowing draw — a pure function of
+//     (seed, link), valid for the whole run.
+//   - fadeDB: the time-varying shadowing draw — a pure function of
+//     (seed, link, coherence epoch), valid until the epoch rolls over.
+//   - mw: the linear-milliwatt form of the composed power, memoized so
+//     repeat arrivals within one epoch skip the dBm→mW exponential.
+type linkGain struct {
+	txMove, rxMove uint64 // mobility epochs the base term was computed at
+	fadeEpoch      uint64 // coherence epoch of the cached dynamic fade
+	have           uint8  // gain* validity bits
+	baseDBm        float64
+	staticDB       float64
+	fadeDB         float64
+	mw             float64
+}
+
+// milliwatt returns phy.DBmToMilliwatt(dbm), memoized on the entry
+// until any gain component is recomputed (which changes dbm).
+func (g *linkGain) milliwatt(dbm float64) float64 {
+	if g.have&gainMW == 0 {
+		g.mw = phy.DBmToMilliwatt(dbm)
+		g.have |= gainMW
+	}
+	return g.mw
+}
+
+// linkPower returns the instantaneous received power in dBm for the
+// directed link from→rx at time now, served from the link-gain cache
+// (the returned entry memoizes the linear form; nil when the cache is
+// disabled). The composition — path-loss base plus static shadow plus
+// epoch fade, summed in that order — mirrors phy.Profile.RxPowerDBm
+// exactly, so a cache hit is bit-identical to the direct computation
+// the gainCacheOff path performs.
+func (m *Medium) linkPower(from, rx *Radio, now time.Duration) (float64, *linkGain) {
+	if m.gainCacheOff {
+		d := phy.Dist(from.pos, rx.pos)
+		return from.profile.RxPowerDBm(m.src, uint64(from.id), uint64(rx.id), d, now), nil
+	}
+	// The per-transmitter slice is sized lazily: only radios that
+	// actually transmit pay for a row, and the row grows only when the
+	// radio set has grown since.
+	if int(rx.slot) >= len(from.gains) {
+		from.gains = append(from.gains, make([]linkGain, len(m.radios)-len(from.gains))...)
+	}
+	g := &from.gains[rx.slot]
+	if g.have&gainBase == 0 || g.txMove != from.moveEpoch || g.rxMove != rx.moveEpoch {
+		g.baseDBm = from.profile.MeanRxPowerDBm(phy.Dist(from.pos, rx.pos))
+		g.txMove, g.rxMove = from.moveEpoch, rx.moveEpoch
+		g.have |= gainBase
+		g.have &^= gainMW
+	}
+	fad := &from.profile.Fading
+	var shadow float64
+	if fad.StaticSigmaDB != 0 {
+		if g.have&gainStatic == 0 {
+			g.staticDB = fad.StaticShadowDB(m.src, uint64(from.id), uint64(rx.id))
+			g.have |= gainStatic
+			g.have &^= gainMW
+		}
+		shadow = g.staticDB
+	}
+	if fad.SigmaDB != 0 {
+		epoch := fad.FadeEpoch(now)
+		if g.have&gainFade == 0 || g.fadeEpoch != epoch {
+			g.fadeDB = fad.EpochShadowDB(m.src, uint64(from.id), uint64(rx.id), epoch)
+			g.fadeEpoch = epoch
+			g.have |= gainFade
+			g.have &^= gainMW
+		}
+		shadow += g.fadeDB
+	}
+	return g.baseDBm + shadow, g
 }
 
 // ensureIndex rebuilds the neighbor grid if the radio set changed since
@@ -195,6 +334,25 @@ type Radio struct {
 	// this radio's frames above the irrelevance threshold.
 	reach float64
 
+	// lin caches the profile's dB-scale thresholds in linear milliwatts,
+	// snapshotted at attach time (profiles are configured before attach)
+	// so the hot CCA/verdict paths never re-run the dBm→mW exponential
+	// on constants. irrelevantDBm is the precomputed per-receiver power
+	// cut, profile.NoiseFloorDBm − IrrelevantMarginDB.
+	lin           phy.Linear
+	irrelevantDBm float64
+
+	// moveEpoch counts SetPos calls; the link-gain cache keys its
+	// path-loss term on the epochs of both endpoint radios, so a move
+	// invalidates exactly the cached distances it changes.
+	moveEpoch uint64
+
+	// slot is this radio's dense index in Medium.radios; gains is the
+	// radio's transmit-side link-gain cache, indexed by receiver slot
+	// and allocated lazily on first transmission (see linkGain).
+	slot  int32
+	gains []linkGain
+
 	// txEnd is the pooled end-of-own-transmission action, scheduled once
 	// per Transmit without allocating.
 	txEnd txEndAction
@@ -225,15 +383,60 @@ type Radio struct {
 	CaptureSwitches uint64
 }
 
-// transmission is one frame in flight. Descriptors are pooled: refs
-// counts the arrival records still holding one, and the descriptor
-// returns to the pool when the last arrival completes.
+// transmission is one frame in flight. Descriptors are pooled and carry
+// their receiver set inline: every receiver shares the same leading and
+// trailing edge instants (propagation delay is a constant bound), so
+// the medium schedules two batch events per transmission — lead and
+// trail — instead of two events per receiver. Receivers are dispatched
+// in target order, which is exactly the order the per-receiver events
+// used to fire in (consecutive sequence numbers at one instant), so
+// the batch is event-order-identical to the pre-batch kernel while
+// keeping the pending-event heap proportional to transmissions in
+// flight, not receivers in earshot.
 type transmission struct {
-	from *Radio
-	f    *frame.Frame
-	rate phy.Rate
-	end  time.Duration
-	refs int32
+	from    *Radio
+	f       *frame.Frame
+	rate    phy.Rate
+	end     time.Duration
+	targets []arrivalTarget
+	lead    txLeadAction
+	trail   txTrailAction
+}
+
+// arrivalTarget is one receiver of an in-flight transmission with its
+// received power in both scales.
+type arrivalTarget struct {
+	rx  *Radio
+	dbm float64
+	mw  float64
+}
+
+// txLeadAction fires the leading edge of a transmission at every
+// receiver in earshot, in target (ascending radio id) order. It is
+// embedded in the pooled transmission and scheduled by pointer, so the
+// interface conversion never allocates.
+type txLeadAction struct{ tx *transmission }
+
+// Act implements sim.Action.
+func (a *txLeadAction) Act() {
+	tx := a.tx
+	for i := range tx.targets {
+		t := &tx.targets[i]
+		t.rx.arrivalStart(tx, t.dbm, t.mw)
+	}
+}
+
+// txTrailAction fires the trailing edge at every receiver, then returns
+// the descriptor to the pool.
+type txTrailAction struct{ tx *transmission }
+
+// Act implements sim.Action.
+func (a *txTrailAction) Act() {
+	tx := a.tx
+	for i := range tx.targets {
+		tx.targets[i].rx.arrivalEnd(tx)
+	}
+	tx.from.m.releaseTransmission(tx)
 }
 
 // arrivalEntry is one in-flight transmission's received power at one
@@ -243,33 +446,6 @@ type arrivalEntry struct {
 	tx  *transmission
 	dbm float64
 	mw  float64
-}
-
-// arrival is the pooled per-receiver record of one transmission
-// overlapping one radio. It is scheduled twice — once at the leading
-// edge, once at the trailing edge — replacing the closure pair the
-// medium used to allocate per receiver.
-type arrival struct {
-	rx       *Radio
-	tx       *transmission
-	powerDBm float64
-	started  bool
-}
-
-// Act fires the arrival's next edge.
-func (a *arrival) Act() {
-	if !a.started {
-		a.started = true
-		a.rx.arrivalStart(a.tx, a.powerDBm)
-		return
-	}
-	rx, tx := a.rx, a.tx
-	m := rx.m
-	m.releaseArrival(a)
-	rx.arrivalEnd(tx)
-	if tx.refs--; tx.refs == 0 {
-		m.releaseTransmission(tx)
-	}
 }
 
 // txEndAction returns a transmitting radio to listen state when its own
@@ -285,23 +461,6 @@ func (t *txEndAction) Act() {
 	r.handler.TxDone()
 }
 
-func (m *Medium) newArrival(rx *Radio, tx *transmission, powerDBm float64) *arrival {
-	var a *arrival
-	if n := len(m.freeArrivals); n > 0 {
-		a = m.freeArrivals[n-1]
-		m.freeArrivals = m.freeArrivals[:n-1]
-	} else {
-		a = new(arrival)
-	}
-	*a = arrival{rx: rx, tx: tx, powerDBm: powerDBm}
-	return a
-}
-
-func (m *Medium) releaseArrival(a *arrival) {
-	*a = arrival{}
-	m.freeArrivals = append(m.freeArrivals, a)
-}
-
 func (m *Medium) newTransmission(from *Radio, f *frame.Frame, rate phy.Rate, end time.Duration) *transmission {
 	var tx *transmission
 	if n := len(m.freeTx); n > 0 {
@@ -310,12 +469,16 @@ func (m *Medium) newTransmission(from *Radio, f *frame.Frame, rate phy.Rate, end
 	} else {
 		tx = new(transmission)
 	}
-	*tx = transmission{from: from, f: f, rate: rate, end: end}
+	targets := tx.targets[:0]
+	*tx = transmission{from: from, f: f, rate: rate, end: end, targets: targets}
+	tx.lead.tx = tx
+	tx.trail.tx = tx
 	return tx
 }
 
 func (m *Medium) releaseTransmission(tx *transmission) {
-	*tx = transmission{}
+	targets := tx.targets[:0]
+	*tx = transmission{targets: targets}
 	m.freeTx = append(m.freeTx, tx)
 }
 
@@ -327,11 +490,14 @@ func (m *Medium) AddRadio(id uint32, pos phy.Position, profile *phy.Profile, h H
 		panic(fmt.Sprintf("medium: duplicate radio id %d", id))
 	}
 	r := &Radio{
-		id:      id,
-		m:       m,
-		pos:     pos,
-		profile: profile,
-		handler: h,
+		id:            id,
+		m:             m,
+		pos:           pos,
+		profile:       profile,
+		handler:       h,
+		lin:           profile.Linearize(),
+		irrelevantDBm: profile.NoiseFloorDBm - IrrelevantMarginDB,
+		slot:          int32(len(m.radios)),
 	}
 	r.txEnd.r = r
 	m.byID[id] = r
@@ -352,9 +518,31 @@ func (r *Radio) Pos() phy.Position { return r.pos }
 // bookkeeping, and only a cell-boundary crossing relocates it.
 func (r *Radio) SetPos(p phy.Position) {
 	r.pos = p
+	r.moveEpoch++
 	if m := r.m; m.index != nil && !m.indexDirty {
 		m.index.Move(r.id, p)
 	}
+}
+
+// Reset clears the radio's per-run receive state and counters and
+// re-places it at pos, keeping the attachment (profile, handler,
+// precomputed linear tables) intact. It is the per-radio half of the
+// arena-reuse path: call Medium.Reset first (which invalidates the
+// link-gain cache and marks the spatial index for rebuild), then Reset
+// every radio with its new-run position.
+func (r *Radio) Reset(pos phy.Position) {
+	r.pos = pos
+	r.moveEpoch = 0
+	r.state = stateListen
+	clear(r.arrivals)
+	r.arrivals = r.arrivals[:0]
+	r.locked = nil
+	r.lockedPower = 0
+	r.maxInterfMW = 0
+	r.ccaBusy = false
+	r.txEndPending = sim.Event{}
+	r.FramesSent, r.FramesDecoded, r.FramesErrored = 0, 0, 0
+	r.FramesMissed, r.CaptureSwitches = 0, 0
 }
 
 // Profile returns the radio's PHY profile.
@@ -394,7 +582,7 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 	m.ensureIndex()
 	if m.index == nil {
 		for _, rx := range m.radios {
-			m.propagate(tx, r, rx, now, air)
+			m.propagate(tx, r, rx, now)
 		}
 	} else {
 		// Candidate cells are visited in deterministic grid order; the
@@ -406,43 +594,52 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 		slices.Sort(ids)
 		m.candidates = ids
 		for _, id := range ids {
-			m.propagate(tx, r, m.byID[id], now, air)
+			m.propagate(tx, r, m.byID[id], now)
 		}
 	}
 	r.txEndPending = m.sched.AtAction(now+air, &r.txEnd)
-	if tx.refs == 0 {
+	if len(tx.targets) == 0 {
 		// Nobody in earshot: the descriptor never entered any receiver's
 		// bookkeeping.
 		m.releaseTransmission(tx)
+	} else {
+		m.sched.AtAction(now+phy.PropDelay, &tx.lead)
+		m.sched.AtAction(now+air+phy.PropDelay, &tx.trail)
 	}
 	return air
 }
 
-// propagate schedules tx's leading and trailing edges at rx, unless the
-// frame arrives so far under rx's noise floor that it cannot shift any
-// CCA, lock, or SINR decision there.
-func (m *Medium) propagate(tx *transmission, from, rx *Radio, now, air time.Duration) {
+// propagate adds rx to tx's receiver set, unless the frame arrives so
+// far under rx's noise floor that it cannot shift any CCA, lock, or
+// SINR decision there. Received power comes from the link-gain cache:
+// for static link/epoch combinations already seen this run the
+// transcendental PHY arithmetic is skipped entirely. The edges
+// themselves are scheduled once per transmission by Transmit, not once
+// per receiver.
+func (m *Medium) propagate(tx *transmission, from, rx *Radio, now time.Duration) {
 	if rx == from {
 		return
 	}
-	d := phy.Dist(from.pos, rx.pos)
-	p := from.profile.RxPowerDBm(m.src, uint64(from.id), uint64(rx.id), d, now)
-	if p < rx.profile.NoiseFloorDBm-IrrelevantMarginDB {
+	p, g := m.linkPower(from, rx, now)
+	if p < rx.irrelevantDBm {
 		return
 	}
-	tx.refs++
-	a := m.newArrival(rx, tx, p)
-	m.sched.AtAction(now+phy.PropDelay, a)
-	m.sched.AtAction(now+air+phy.PropDelay, a)
+	var mw float64
+	if g != nil {
+		mw = g.milliwatt(p)
+	} else {
+		mw = phy.DBmToMilliwatt(p)
+	}
+	tx.targets = append(tx.targets, arrivalTarget{rx: rx, dbm: p, mw: mw})
 }
 
 // DebugArrival, when set, observes every arrival edge (test hook).
 var DebugArrival func(rx uint32, from uint32, powerDBm float64, state string)
 
 // arrivalStart handles the leading edge of a transmission reaching this
-// radio.
-func (r *Radio) arrivalStart(tx *transmission, powerDBm float64) {
-	r.arrivals = append(r.arrivals, arrivalEntry{tx: tx, dbm: powerDBm, mw: phy.DBmToMilliwatt(powerDBm)})
+// radio. powerMW is the caller-supplied linear form of powerDBm.
+func (r *Radio) arrivalStart(tx *transmission, powerDBm, powerMW float64) {
+	r.arrivals = append(r.arrivals, arrivalEntry{tx: tx, dbm: powerDBm, mw: powerMW})
 	prof := r.profile
 	if DebugArrival != nil {
 		st := "listen-unlocked"
@@ -508,8 +705,10 @@ func (r *Radio) noteInterference() {
 }
 
 // interferenceFloorDBm returns noise + all arrivals except tx, in dBm.
+// The noise floor comes from the attach-time linear table rather than a
+// fresh dBm→mW conversion per call.
 func (r *Radio) interferenceFloorDBm(except *transmission) float64 {
-	mw := phy.DBmToMilliwatt(r.profile.NoiseFloorDBm)
+	mw := r.lin.NoiseFloorMW
 	for _, a := range r.arrivals {
 		if a.tx != except {
 			mw += a.mw
@@ -559,7 +758,7 @@ func (r *Radio) verdict(tx *transmission) bool {
 	if r.lockedPower < prof.SensitivityDBm[idx] {
 		return false
 	}
-	floorMW := phy.DBmToMilliwatt(prof.NoiseFloorDBm) + r.maxInterfMW
+	floorMW := r.lin.NoiseFloorMW + r.maxInterfMW
 	sinr := r.lockedPower - phy.MilliwattToDBm(floorMW)
 	return sinr >= prof.SINRRequiredDB[idx]
 }
@@ -575,7 +774,7 @@ func (r *Radio) updateCCA() {
 		for _, a := range r.arrivals {
 			mw += a.mw
 		}
-		busy = mw >= phy.DBmToMilliwatt(r.profile.CCAThresholdDBm)
+		busy = mw >= r.lin.CCAThresholdMW
 	}
 	if busy != r.ccaBusy {
 		r.ccaBusy = busy

@@ -318,3 +318,70 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 		t.Fatalf("runs diverged: (%d,%d) vs (%d,%d)", d1, e1, d2, e2)
 	}
 }
+
+// TestLinkGainCacheMatchesDirect pits the link-gain cache against the
+// direct per-call PHY computation across everything that can invalidate
+// an entry — time advancing through coherence epochs, either endpoint
+// moving, static and dynamic shadowing components — and requires the
+// returned power (and its memoized linear form) to be bit-identical on
+// every query, including repeat queries served from the cache.
+func TestLinkGainCacheMatchesDirect(t *testing.T) {
+	prof := phy.TestbedProfile() // static + dynamic shadowing components
+	prof.Fading.Coherence = 10 * time.Millisecond
+	sched := sim.NewScheduler()
+	src := sim.NewSource(99)
+	m := New(sched, src)
+	a := m.AddRadio(1, phy.Pos(0, 0), prof, &mockHandler{})
+	b := m.AddRadio(2, phy.Pos(35, 0), prof, &mockHandler{})
+	c := m.AddRadio(3, phy.Pos(10, 40), prof, &mockHandler{})
+
+	check := func(from, rx *Radio, now time.Duration) {
+		t.Helper()
+		d := phy.Dist(from.Pos(), rx.Pos())
+		want := from.Profile().RxPowerDBm(src, uint64(from.ID()), uint64(rx.ID()), d, now)
+		for i := 0; i < 3; i++ { // repeat: later queries come from the cache
+			got, g := m.linkPower(from, rx, now)
+			if got != want {
+				t.Fatalf("linkPower(%d->%d, %v) query %d = %v, want direct %v",
+					from.ID(), rx.ID(), now, i, got, want)
+			}
+			if mw := g.milliwatt(got); mw != phy.DBmToMilliwatt(want) {
+				t.Fatalf("milliwatt(%d->%d, %v) = %v, want direct %v",
+					from.ID(), rx.ID(), now, mw, phy.DBmToMilliwatt(want))
+			}
+		}
+	}
+
+	times := []time.Duration{0, 3 * time.Millisecond, 10 * time.Millisecond,
+		14 * time.Millisecond, 50 * time.Millisecond}
+	pairs := [][2]*Radio{{a, b}, {b, a}, {a, c}, {c, a}, {b, c}, {c, b}}
+	for _, now := range times {
+		for _, p := range pairs {
+			check(p[0], p[1], now)
+		}
+	}
+
+	// Move one endpoint: both link directions touching it must pick up
+	// the new distance; untouched links must stay cached and correct.
+	b.SetPos(phy.Pos(80, 5))
+	for _, p := range pairs {
+		check(p[0], p[1], 50*time.Millisecond)
+	}
+	a.SetPos(phy.Pos(-20, -20))
+	for _, now := range []time.Duration{50 * time.Millisecond, 61 * time.Millisecond} {
+		for _, p := range pairs {
+			check(p[0], p[1], now)
+		}
+	}
+
+	// The reference path (cache off) must agree too.
+	m.SetGainCache(false)
+	d := phy.Dist(a.Pos(), b.Pos())
+	want := prof.RxPowerDBm(src, 1, 2, d, 70*time.Millisecond)
+	got, g := m.linkPower(a, b, 70*time.Millisecond)
+	if got != want || g != nil {
+		t.Fatalf("cache-off linkPower = (%v, %v), want (%v, nil)", got, g, want)
+	}
+	m.SetGainCache(true)
+	check(a, b, 70*time.Millisecond)
+}

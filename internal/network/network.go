@@ -155,6 +155,11 @@ type Stack struct {
 	handlers  map[Protocol]Handler
 	space     []func() // transmit-queue space subscribers
 
+	// frozenSpace is the length of space at FreezeSubscribers time: the
+	// construction-time (transport) subscribers that survive Reset,
+	// as opposed to per-run application sources registered later.
+	frozenSpace int
+
 	Forwarding bool // enable packet forwarding (off by default)
 
 	// Counters.
@@ -201,6 +206,26 @@ func (s *Stack) Handle(p Protocol, h Handler) { s.handlers[p] = h }
 // OnQueueSpace subscribes to transmit-queue space notifications, used by
 // transports for backpressure.
 func (s *Stack) OnQueueSpace(fn func()) { s.space = append(s.space, fn) }
+
+// FreezeSubscribers marks the current queue-space subscriber set as the
+// stack's permanent baseline. The station builder calls it once, after
+// wiring the transports: subscribers registered later belong to one
+// run's application sources (saturating CBR refills and the like), and
+// Reset truncates back to the frozen baseline so a reused network does
+// not accumulate — or wrongly re-trigger — the previous run's sources.
+func (s *Stack) FreezeSubscribers() { s.frozenSpace = len(s.space) }
+
+// Reset clears the stack's per-run state for arena reuse: counters
+// zero and queue-space subscribers truncated to the FreezeSubscribers
+// baseline. The neighbor table, routes and protocol handlers are
+// construction-time wiring and survive.
+func (s *Stack) Reset() {
+	for i := s.frozenSpace; i < len(s.space); i++ {
+		s.space[i] = nil
+	}
+	s.space = s.space[:s.frozenSpace]
+	s.Sent, s.Received, s.Forwarded, s.Dropped = 0, 0, 0, 0
+}
 
 // QueueFree reports how many MSDUs the MAC queue can still take.
 func (s *Stack) QueueFree() int { return s.mac.QueueCap() - s.mac.QueueLen() }

@@ -96,6 +96,10 @@ func (n *Network) AddStationProfile(pos phy.Position, cfg mac.Config, profile *p
 	st.Net = network.NewStack(m, network.StationAddr(id))
 	st.UDP = transport.NewUDP(st.Net)
 	st.TCP = transport.NewTCP(n.Sched, n.Source, st.Net, n.MSS)
+	// The transports' queue-space subscriptions are permanent wiring;
+	// anything registered later (per-run traffic sources) is truncated
+	// by Network.Reset.
+	st.Net.FreezeSubscribers()
 
 	for _, other := range n.Stations {
 		other.Net.AddNeighbor(st.Addr(), st.HWAddr())
@@ -108,6 +112,37 @@ func (n *Network) AddStationProfile(pos phy.Position, cfg mac.Config, profile *p
 // Run advances the simulation by d.
 func (n *Network) Run(d time.Duration) {
 	n.Sched.RunUntil(n.Sched.Now() + d)
+}
+
+// Reset re-seeds a built network for a fresh run without rebuilding it:
+// the scheduler arena empties back to time zero, the random source
+// re-roots at seed, and every layer of every station (radio, MAC,
+// stack, UDP, TCP) returns to its just-built state, with station i
+// re-placed at positions[i]. Station count, per-station MAC
+// configuration and radio profiles are construction-time decisions and
+// survive — which is exactly what makes Reset so much cheaper than
+// rebuilding: the O(stations²) neighbor wiring, the map allocations and
+// the rng stream states are all reused.
+//
+// The per-station reset order mirrors AddStationProfile's construction
+// order, so the t=0 events a reset network schedules (IBSS beacons) get
+// the same sequence numbers as on a fresh build — a Reset-then-run is
+// bit-identical to a build-then-run at the same seed (the scenario
+// package's reuse tests pin this).
+func (n *Network) Reset(seed uint64, positions []phy.Position) {
+	if len(positions) != len(n.Stations) {
+		panic(fmt.Sprintf("node: Reset with %d positions for %d stations", len(positions), len(n.Stations)))
+	}
+	n.Sched.Reset()
+	n.Source.Reseed(seed)
+	n.Medium.Reset()
+	for i, st := range n.Stations {
+		st.Radio.Reset(positions[i])
+		st.MAC.Reset(n.Source)
+		st.Net.Reset()
+		st.UDP.Reset()
+		st.TCP.Reset(n.Source)
+	}
 }
 
 // Now returns the current simulated time.

@@ -76,27 +76,64 @@ func clampNorm(z float64) float64 {
 	return z
 }
 
+// orient maps a directed link to the key its shadowing draws hash
+// over: the link itself, or the sorted pair under Symmetric fading.
+func (f Fading) orient(tx, rx uint64) (uint64, uint64) {
+	if f.Symmetric && tx > rx {
+		return rx, tx
+	}
+	return tx, rx
+}
+
+// StaticShadowDB returns the persistent per-link shadowing component in
+// dB: the offset drawn once per run for the directed link tx→rx, or 0
+// when StaticSigmaDB is disabled. It is a pure function of (seed, link),
+// which is what lets the medium cache it per link for the lifetime of a
+// run without ever disagreeing with a fresh computation.
+func (f Fading) StaticShadowDB(src *sim.Source, tx, rx uint64) float64 {
+	if f.StaticSigmaDB == 0 {
+		return 0
+	}
+	a, b := f.orient(tx, rx)
+	return f.StaticSigmaDB * clampNorm(src.HashNorm(0x57a71c, a, b))
+}
+
+// FadeEpoch returns the coherence epoch that governs the time-varying
+// shadowing component at simulated time now. Within one epoch every
+// link's dynamic fade is constant — the invariant the medium's
+// link-gain cache keys on.
+func (f Fading) FadeEpoch(now time.Duration) uint64 {
+	if f.Coherence > 0 {
+		return uint64(now / f.Coherence)
+	}
+	return 0
+}
+
+// EpochShadowDB returns the time-varying shadowing component in dB for
+// the directed link tx→rx during the given coherence epoch, or 0 when
+// SigmaDB is disabled. Like StaticShadowDB it is a pure function of
+// (seed, link, epoch), so caching the value for the duration of the
+// epoch is bit-identical to recomputing it per arrival.
+func (f Fading) EpochShadowDB(src *sim.Source, tx, rx, epoch uint64) float64 {
+	if f.SigmaDB == 0 {
+		return 0
+	}
+	a, b := f.orient(tx, rx)
+	return f.SigmaDB * clampNorm(src.HashNorm(0xfade, a, b, epoch))
+}
+
 // ShadowDB returns the shadowing offset in dB for the directed link
 // tx→rx at simulated time now. The offset is bounded by ±MaxShadowDB.
+// It composes StaticShadowDB and EpochShadowDB — the same components,
+// summed in the same order, as the medium's link-gain cache, so cached
+// and direct computations are bit-identical (TestShadowDBComposition
+// pins this).
 func (f Fading) ShadowDB(src *sim.Source, tx, rx uint64, now time.Duration) float64 {
 	if f.SigmaDB == 0 && f.StaticSigmaDB == 0 {
 		return 0
 	}
-	a, b := tx, rx
-	if f.Symmetric && a > b {
-		a, b = b, a
-	}
-	var db float64
-	if f.StaticSigmaDB != 0 {
-		db = f.StaticSigmaDB * clampNorm(src.HashNorm(0x57a71c, a, b))
-	}
-	if f.SigmaDB != 0 {
-		var epoch uint64
-		if f.Coherence > 0 {
-			epoch = uint64(now / f.Coherence)
-		}
-		db += f.SigmaDB * clampNorm(src.HashNorm(0xfade, a, b, epoch))
-	}
+	db := f.StaticShadowDB(src, tx, rx)
+	db += f.EpochShadowDB(src, tx, rx, f.FadeEpoch(now))
 	return db
 }
 
@@ -296,6 +333,41 @@ func (w Weather) Apply(p *Profile) *Profile {
 	q.PathLoss.Exponent += w.ExponentDelta
 	q.Fading.SigmaDB += w.SigmaDeltaDB
 	return q
+}
+
+// Linear holds a Profile's threshold quantities precomputed in linear
+// milliwatts. The medium's hot receive path sums energies in linear
+// scale, and before PR 4 it converted the *constant* dB-scale
+// thresholds (noise floor, CCA energy-detect, per-rate sensitivities)
+// through math.Pow on every busy-check and decode verdict. Linearize
+// computes each value exactly once through the same DBmToMilliwatt the
+// direct code path used, so a cached table entry is bit-identical to
+// the on-the-fly conversion it replaces (TestLinearizeMatchesDirect
+// pins this).
+type Linear struct {
+	// NoiseFloorMW is DBmToMilliwatt(Profile.NoiseFloorDBm).
+	NoiseFloorMW float64
+	// CCAThresholdMW is DBmToMilliwatt(Profile.CCAThresholdDBm).
+	CCAThresholdMW float64
+	// SensitivityMW[rate.Index()] is the per-rate decode sensitivity in
+	// milliwatts, DBmToMilliwatt(Profile.SensitivityDBm[i]).
+	SensitivityMW [4]float64
+}
+
+// Linearize precomputes the profile's linear-scale threshold table.
+// Call it after the profile is fully configured: the table is a
+// snapshot, not a view, so later threshold edits do not propagate
+// (the medium takes its snapshot at radio attach time, matching the
+// existing rule that profiles are configured before attach).
+func (p *Profile) Linearize() Linear {
+	l := Linear{
+		NoiseFloorMW:   DBmToMilliwatt(p.NoiseFloorDBm),
+		CCAThresholdMW: DBmToMilliwatt(p.CCAThresholdDBm),
+	}
+	for i, s := range p.SensitivityDBm {
+		l.SensitivityMW[i] = DBmToMilliwatt(s)
+	}
+	return l
 }
 
 // DBmToMilliwatt converts dBm to linear milliwatts.

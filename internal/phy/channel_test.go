@@ -244,3 +244,86 @@ func TestDBmConversions(t *testing.T) {
 		t.Error("MilliwattToDBm(0) should be -Inf")
 	}
 }
+
+// TestShadowDBComposition pins the bit-identity contract the medium's
+// link-gain cache depends on: ShadowDB must equal exactly (not just
+// approximately) the static component plus the epoch component, for
+// every combination of enabled components and link orientation. A
+// single ULP of drift here would break the cached-vs-direct golden
+// equivalence.
+func TestShadowDBComposition(t *testing.T) {
+	src := sim.NewSource(0xfeed)
+	fadings := []Fading{
+		{SigmaDB: 4, Coherence: 50 * time.Millisecond},
+		{SigmaDB: 4, Coherence: 50 * time.Millisecond, Symmetric: true},
+		{StaticSigmaDB: 4},
+		{SigmaDB: 3, StaticSigmaDB: 4, Coherence: 20 * time.Millisecond},
+		{SigmaDB: 2, Coherence: 0}, // no coherence: single epoch forever
+		{},                         // disabled entirely
+	}
+	times := []time.Duration{0, 7 * time.Millisecond, 50 * time.Millisecond,
+		123 * time.Millisecond, 9 * time.Second}
+	for _, f := range fadings {
+		for _, now := range times {
+			for _, link := range [][2]uint64{{1, 2}, {2, 1}, {17, 900}, {900, 17}} {
+				tx, rx := link[0], link[1]
+				direct := f.ShadowDB(src, tx, rx, now)
+				composed := f.StaticShadowDB(src, tx, rx)
+				composed += f.EpochShadowDB(src, tx, rx, f.FadeEpoch(now))
+				if f.SigmaDB == 0 && f.StaticSigmaDB == 0 {
+					if direct != 0 {
+						t.Fatalf("disabled fading returned %v", direct)
+					}
+					continue
+				}
+				if direct != composed {
+					t.Fatalf("fading %+v link %d->%d at %v: ShadowDB %v != static+epoch %v",
+						f, tx, rx, now, direct, composed)
+				}
+			}
+		}
+	}
+}
+
+// TestFadeEpochBoundaries checks the epoch function against the direct
+// division the pre-refactor ShadowDB used.
+func TestFadeEpochBoundaries(t *testing.T) {
+	f := Fading{SigmaDB: 4, Coherence: 50 * time.Millisecond}
+	for _, tc := range []struct {
+		now  time.Duration
+		want uint64
+	}{
+		{0, 0}, {49 * time.Millisecond, 0}, {50 * time.Millisecond, 1},
+		{99 * time.Millisecond, 1}, {100 * time.Millisecond, 2},
+		{5 * time.Second, 100},
+	} {
+		if got := f.FadeEpoch(tc.now); got != tc.want {
+			t.Errorf("FadeEpoch(%v) = %d, want %d", tc.now, got, tc.want)
+		}
+	}
+	noCoherence := Fading{SigmaDB: 4}
+	if got := noCoherence.FadeEpoch(time.Hour); got != 0 {
+		t.Errorf("zero-coherence epoch = %d, want 0", got)
+	}
+}
+
+// TestLinearizeMatchesDirect pins the cached linear threshold table
+// against the direct conversions the medium used to perform per call:
+// every entry must be the bit-identical output of DBmToMilliwatt.
+func TestLinearizeMatchesDirect(t *testing.T) {
+	for _, p := range []*Profile{DefaultProfile(), TestbedProfile(),
+		WeatherDamp.Apply(DefaultProfile())} {
+		l := p.Linearize()
+		if l.NoiseFloorMW != DBmToMilliwatt(p.NoiseFloorDBm) {
+			t.Errorf("%s: NoiseFloorMW %v != direct %v", p.Name, l.NoiseFloorMW, DBmToMilliwatt(p.NoiseFloorDBm))
+		}
+		if l.CCAThresholdMW != DBmToMilliwatt(p.CCAThresholdDBm) {
+			t.Errorf("%s: CCAThresholdMW %v != direct %v", p.Name, l.CCAThresholdMW, DBmToMilliwatt(p.CCAThresholdDBm))
+		}
+		for i, s := range p.SensitivityDBm {
+			if l.SensitivityMW[i] != DBmToMilliwatt(s) {
+				t.Errorf("%s: SensitivityMW[%d] %v != direct %v", p.Name, i, l.SensitivityMW[i], DBmToMilliwatt(s))
+			}
+		}
+	}
+}

@@ -48,6 +48,24 @@ func (c Config) workers() int {
 // simulation replication builds its own Network, so concurrent calls
 // share no mutable state.
 func Map[T any](cfg Config, n int, fn func(i int) T) []T {
+	return MapWith(cfg, n, func(_ *struct{}, i int) T { return fn(i) })
+}
+
+// MapWith is Map for jobs that can profitably reuse expensive state
+// within one worker: every worker goroutine owns a private state cell
+// (a zero S), and each job it executes receives a pointer to that cell.
+// The canonical use is an arena — a built simulation network that each
+// job re-seeds instead of rebuilding; the first job a worker runs finds
+// the cell empty and populates it.
+//
+// The determinism contract is unchanged from Map — results are indexed
+// by job, so the returned slice does not depend on the worker count —
+// but it now also binds the caller: fn must produce the same result for
+// job i whether its cell is freshly zero or warmed by any earlier job,
+// i.e. state reuse may change speed, never outcomes. (The scenario
+// layer meets this with its Reset path and proves it with
+// reuse-vs-rebuild equivalence tests.)
+func MapWith[S, T any](cfg Config, n int, fn func(state *S, i int) T) []T {
 	out := make([]T, n)
 	if n == 0 {
 		return out
@@ -57,8 +75,9 @@ func Map[T any](cfg Config, n int, fn func(i int) T) []T {
 		workers = n
 	}
 	if workers <= 1 {
+		var state S
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			out[i] = fn(&state, i)
 			if cfg.Progress != nil {
 				cfg.Progress(i+1, n)
 			}
@@ -74,12 +93,13 @@ func Map[T any](cfg Config, n int, fn func(i int) T) []T {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var state S
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = fn(&state, i)
 				d := int(done.Add(1))
 				if cfg.Progress != nil {
 					mu.Lock()
@@ -105,6 +125,14 @@ func Map[T any](cfg Config, n int, fn func(i int) T) []T {
 // the experiment and scenario layers.
 func Replicate[T any](cfg Config, root uint64, n int, fn func(seed uint64) T) []T {
 	return Map(cfg, n, func(i int) T { return fn(SeedFor(root, i)) })
+}
+
+// ReplicateWith is Replicate with per-worker reusable state (MapWith):
+// replication i runs fn(state, SeedFor(root, i)) against its worker's
+// private cell. Use it when one replication's expensive setup (a built
+// network) can be re-seeded for the next.
+func ReplicateWith[S, T any](cfg Config, root uint64, n int, fn func(state *S, seed uint64) T) []T {
+	return MapWith(cfg, n, func(s *S, i int) T { return fn(s, SeedFor(root, i)) })
 }
 
 // SeedFor derives the root seed of replication rep of a run rooted at

@@ -212,3 +212,60 @@ func BenchmarkMap8Replications(b *testing.B) {
 		}
 	})
 }
+
+// TestMapWithReusesStatePerWorker checks both halves of the MapWith
+// contract: results are indexed and worker-count independent, and each
+// worker's state cell persists across the jobs it executes (that is the
+// whole point — the cell would otherwise be an arena rebuilt per job).
+func TestMapWithReusesStatePerWorker(t *testing.T) {
+	type cell struct{ uses int }
+	const n = 12
+	for _, workers := range []int{1, 3, n + 5} {
+		var inits atomic.Int64
+		out := MapWith(Config{Workers: workers}, n, func(s *cell, i int) int {
+			if s.uses == 0 {
+				inits.Add(1)
+			}
+			s.uses++
+			return i * i
+		})
+		for i, got := range out {
+			if got != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got, i*i)
+			}
+		}
+		// Never more initializations than workers actually started.
+		max := int64(workers)
+		if workers > n {
+			max = n
+		}
+		if got := inits.Load(); got > max {
+			t.Fatalf("workers=%d: %d state initializations, want <= %d", workers, got, max)
+		}
+	}
+	// Serial path: one cell serves every job.
+	var inits atomic.Int64
+	MapWith(Config{Workers: 1}, n, func(s *cell, i int) struct{} {
+		if s.uses == 0 {
+			inits.Add(1)
+		}
+		s.uses++
+		return struct{}{}
+	})
+	if got := inits.Load(); got != 1 {
+		t.Fatalf("serial MapWith initialized %d cells, want 1", got)
+	}
+}
+
+// TestReplicateWithSeedsMatchReplicate pins ReplicateWith to the same
+// seed schedule as Replicate.
+func TestReplicateWithSeedsMatchReplicate(t *testing.T) {
+	const root, n = 99, 9
+	want := Replicate(Config{Workers: 2}, root, n, func(seed uint64) uint64 { return seed })
+	got := ReplicateWith(Config{Workers: 2}, root, n, func(_ *struct{}, seed uint64) uint64 { return seed })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replication %d: ReplicateWith seed %d, Replicate seed %d", i, got[i], want[i])
+		}
+	}
+}

@@ -14,10 +14,17 @@ import (
 // Instance is a compiled scenario: a live network plus the workload
 // endpoints, ready to run. Callers that need more than Run's metrics —
 // extra monitors, mid-run inspection, custom horizons — Build the
-// instance and drive it themselves.
+// instance and drive it themselves. A finished instance can be
+// re-seeded in place with Reset, which is how replication sweeps avoid
+// rebuilding the network per replication.
 type Instance struct {
 	Spec Spec
 	Net  *node.Network
+
+	// orig is the defaulted spec before seed-dependent resolution
+	// (NearestDst flows unresolved): the template Reset re-resolves
+	// against a new seed.
+	orig Spec
 
 	// udpSinks/tcpSinks/cbrs/bulks are indexed by flow.
 	udpSinks []*app.UDPSink
@@ -35,6 +42,7 @@ type Instance struct {
 // flow's source in flow order.
 func Build(spec Spec) (*Instance, error) {
 	spec = spec.withDefaults()
+	orig := spec
 	positions, flows, err := spec.check()
 	if err != nil {
 		return nil, err
@@ -101,14 +109,23 @@ func Build(spec Spec) (*Instance, error) {
 		net.AddStationProfile(pos, cfg, stProfile)
 	}
 
-	inst := &Instance{
-		Spec:     spec,
-		Net:      net,
-		udpSinks: make([]*app.UDPSink, len(spec.Flows)),
-		tcpSinks: make([]*app.TCPSink, len(spec.Flows)),
-		cbrs:     make([]*app.CBR, len(spec.Flows)),
-		bulks:    make([]*app.Bulk, len(spec.Flows)),
-	}
+	inst := &Instance{Spec: spec, Net: net, orig: orig}
+	inst.attachWorkload()
+	return inst, nil
+}
+
+// attachWorkload wires one run's measurement endpoints and traffic
+// sources into the (fresh or just-Reset) network, in the order that is
+// part of the determinism contract: every flow's sink in flow order,
+// then every flow's source in flow order, then mobility. Build and
+// Reset share it, which is what makes a Reset-then-run schedule the
+// same t=0 event sequence as a build-then-run.
+func (inst *Instance) attachWorkload() {
+	spec, net := inst.Spec, inst.Net
+	inst.udpSinks = make([]*app.UDPSink, len(spec.Flows))
+	inst.tcpSinks = make([]*app.TCPSink, len(spec.Flows))
+	inst.cbrs = make([]*app.CBR, len(spec.Flows))
+	inst.bulks = make([]*app.Bulk, len(spec.Flows))
 	for i, f := range spec.Flows {
 		dst := net.Stations[f.Dst]
 		switch f.Transport {
@@ -137,7 +154,34 @@ func Build(spec Spec) (*Instance, error) {
 	if m := spec.Mobility; m != nil {
 		inst.startMobility(m)
 	}
-	return inst, nil
+}
+
+// Reset re-seeds the instance in place for a new replication, reusing
+// the built network instead of compiling the spec from scratch: the
+// topology is re-drawn (and any NearestDst flows re-paired) under the
+// new seed, every protocol layer returns to its just-built state via
+// node.Network.Reset, and fresh sinks and sources attach at time zero.
+// The result of Reset(s) followed by Run is bit-identical to
+// Build-with-seed-s followed by Run; TestReplicateReuseMatchesRebuild
+// pins this for the preset library.
+//
+// Station count, MAC configuration and radio profiles come from the
+// spec and do not depend on the seed, so they survive — that reuse is
+// the point. Specs with a MACHook are the one exception (the hook may
+// close over stateful objects like rate controllers that Reset cannot
+// reach); scenario.Replicate rebuilds those instead.
+func (inst *Instance) Reset(seed uint64) error {
+	s := inst.orig
+	s.Seed = seed
+	positions, flows, err := s.check()
+	if err != nil {
+		return err
+	}
+	s.Flows = flows
+	inst.Net.Reset(seed, positions)
+	inst.Spec = s
+	inst.attachWorkload()
+	return nil
 }
 
 // startMobility wires the movement model into the scheduler.

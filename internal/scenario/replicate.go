@@ -36,11 +36,32 @@ type Summary struct {
 	Runs []Result `json:"runs"`
 }
 
+// rebuildEachRep, when set, makes Replicate compile every replication
+// from scratch instead of re-seeding each worker's built network — the
+// pre-arena-reuse reference behaviour (see SetRebuildEachRep).
+var rebuildEachRep bool
+
+// SetRebuildEachRep disables (true) or re-enables (false) arena reuse
+// in Replicate, forcing every replication through a full Build. Like
+// medium.SetBruteForce it exists for verification — the equivalence
+// tests (and cmd/adhocsim -rebuild-each-rep) run the same sweep both
+// ways and require byte-identical summaries. Production callers never
+// need it. Not safe to flip while a Replicate call is in flight.
+func SetRebuildEachRep(on bool) { rebuildEachRep = on }
+
 // Replicate runs reps independently seeded copies of the spec across
 // workers goroutines (0 = all CPUs) and aggregates per-flow metrics.
 // Replication 0 reuses the spec's own seed, so a single-replication
 // summary wraps exactly the result of Run(spec). The aggregate is
 // bit-identical for any worker count.
+//
+// Each worker builds the network once and re-seeds it per replication
+// (Instance.Reset), so a sweep pays the O(stations²) construction cost
+// per worker, not per replication. Specs with a MACHook opt out: the
+// hook may close over per-run state (rate controllers) that Reset
+// cannot reach, so those replications rebuild — and serialize, since
+// the shared hook state would also make concurrent replications a data
+// race.
 func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Summary, error) {
 	if err := spec.Validate(); err != nil {
 		return Summary{}, err
@@ -49,19 +70,21 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 		reps = 1
 	}
 	if spec.MACHook != nil {
-		// A MACHook typically closes over live objects (rate controllers,
-		// ablation state) that every replication would then share; running
-		// those replications concurrently is a data race. Fall back to one
-		// worker — results are identical either way, only wall-clock
-		// differs.
 		workers = 1
 	}
 	cfg := runner.Config{Workers: workers, Progress: progress}
-	runs := runner.Replicate(cfg, spec.Seed, reps, func(seed uint64) Result {
-		s := spec
-		s.Seed = seed
-		return MustRun(s)
-	})
+	var runs []Result
+	if spec.MACHook != nil || rebuildEachRep {
+		runs = runner.Replicate(cfg, spec.Seed, reps, func(seed uint64) Result {
+			s := spec
+			s.Seed = seed
+			return MustRun(s)
+		})
+	} else {
+		runs = runner.ReplicateWith(cfg, spec.Seed, reps, func(inst **Instance, seed uint64) Result {
+			return runReused(inst, spec, seed)
+		})
+	}
 	sum := Summary{
 		Name:         spec.Name,
 		Replications: len(runs),
@@ -96,6 +119,32 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 		sum.Flows = append(sum.Flows, fs)
 	}
 	return sum, nil
+}
+
+// runReused executes one replication on a worker's arena: the first
+// replication a worker runs builds its network, every later one
+// re-seeds it in place. Both paths produce bit-identical Results for a
+// given seed (Instance.Reset's contract), so the sweep aggregate does
+// not depend on which worker ran which replication.
+func runReused(slot **Instance, spec Spec, seed uint64) Result {
+	inst := *slot
+	if inst == nil {
+		s := spec
+		s.Seed = seed
+		built, err := Build(s)
+		if err != nil {
+			// Validate passed before the fan-out, so this is unreachable
+			// short of a programming error; mirror MustRun's contract.
+			panic(fmt.Sprintf("scenario: %v", err))
+		}
+		*slot = built
+		inst = built
+	} else if err := inst.Reset(seed); err != nil {
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
+	horizon := inst.Spec.Duration.D()
+	inst.Net.Run(horizon)
+	return inst.Collect(horizon)
 }
 
 // Render formats a replicated scenario summary as the text table the

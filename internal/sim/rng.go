@@ -21,6 +21,14 @@ func NewSource(seed uint64) *Source { return &Source{seed: seed} }
 // Seed returns the root seed.
 func (s *Source) Seed() uint64 { return s.seed }
 
+// Reseed re-roots the source at a new seed, the arena-reuse equivalent
+// of constructing a fresh Source. Hash-based draws (Hash64, HashNorm)
+// pick up the new seed immediately; streams handed out by Stream were
+// seeded from the old root and stay on it, so every holder of a derived
+// stream must re-derive it after Reseed (the per-subsystem Reset
+// methods do).
+func (s *Source) Reseed(seed uint64) { s.seed = seed }
+
 // Stream returns a deterministic pseudo-random stream named name.
 // Streams with distinct names are statistically independent; calling
 // Stream twice with the same name returns identically-seeded (but

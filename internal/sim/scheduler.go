@@ -60,12 +60,21 @@ func (e Event) Pending() bool {
 // bumps gen, releases the callback reference, and returns the slot to
 // the free list.
 type slot struct {
-	at      time.Duration
-	seq     uint64
 	gen     uint64
 	heapIdx int32
 	fn      func()
 	act     Action
+}
+
+// heapEntry is one heap element. The ordering keys (at, seq) live
+// inline in the heap rather than in the slot arena: every sift
+// comparison then reads adjacent heap memory instead of dereferencing
+// two random slots, which is most of what a comparison used to cost on
+// large queues.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	idx int32
 }
 
 // Scheduler is a discrete-event scheduler. The zero value is ready to use.
@@ -76,8 +85,8 @@ type slot struct {
 type Scheduler struct {
 	now   time.Duration
 	slots []slot
-	free  []int32 // recycled slot indices
-	heap  []int32 // 4-ary heap of slot indices, ordered by (at, seq)
+	free  []int32     // recycled slot indices
+	heap  []heapEntry // 4-ary heap ordered by (at, seq)
 	seq   uint64
 	fired uint64
 }
@@ -145,13 +154,11 @@ func (s *Scheduler) schedule(t time.Duration, fn func(), act Action) Event {
 		idx = int32(len(s.slots) - 1)
 	}
 	sl := &s.slots[idx]
-	sl.at = t
-	sl.seq = s.seq
 	sl.fn = fn
 	sl.act = act
-	s.seq++
 	sl.heapIdx = int32(len(s.heap))
-	s.heap = append(s.heap, idx)
+	s.heap = append(s.heap, heapEntry{at: t, seq: s.seq, idx: idx})
+	s.seq++
 	s.siftUp(int(sl.heapIdx))
 	return Event{s: s, idx: idx, gen: sl.gen, at: t}
 }
@@ -196,11 +203,11 @@ func (s *Scheduler) release(idx int32) {
 // removeHeap removes the heap entry at heap position h and releases its
 // slot.
 func (s *Scheduler) removeHeap(h int) {
-	idx := s.heap[h]
+	idx := s.heap[h].idx
 	last := len(s.heap) - 1
 	if h != last {
 		s.heap[h] = s.heap[last]
-		s.slots[s.heap[h]].heapIdx = int32(h)
+		s.slots[s.heap[h].idx].heapIdx = int32(h)
 	}
 	s.heap = s.heap[:last]
 	if h != last {
@@ -217,15 +224,15 @@ func (s *Scheduler) Step() bool {
 	if len(s.heap) == 0 {
 		return false
 	}
-	idx := s.heap[0]
+	idx := s.heap[0].idx
 	sl := &s.slots[idx]
-	s.now = sl.at
+	s.now = s.heap[0].at
 	fn, act := sl.fn, sl.act
 	last := len(s.heap) - 1
 	s.heap[0] = s.heap[last]
 	s.heap = s.heap[:last]
 	if last > 0 {
-		s.slots[s.heap[0]].heapIdx = 0
+		s.slots[s.heap[0].idx].heapIdx = 0
 		s.siftDown(0)
 	}
 	// Release before running: the callback observes its own event as no
@@ -247,7 +254,7 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, s.now))
 	}
-	for len(s.heap) > 0 && s.slots[s.heap[0]].at <= t {
+	for len(s.heap) > 0 && s.heap[0].at <= t {
 		s.Step()
 	}
 	s.now = t
@@ -261,13 +268,36 @@ func (s *Scheduler) Run() {
 	}
 }
 
-// less orders heap entries by (time, sequence): FIFO within one instant.
-func (s *Scheduler) less(a, b int32) bool {
-	sa, sb := &s.slots[a], &s.slots[b]
-	if sa.at != sb.at {
-		return sa.at < sb.at
+// Reset returns the scheduler to its just-constructed state — time
+// zero, no pending events, counters cleared — while keeping the slot
+// arena and heap capacity, so a replication sweep reuses the memory a
+// previous run grew. Every outstanding Event handle is invalidated
+// (generations bump exactly as if each event had been cancelled); a
+// fresh run scheduled after Reset is bit-identical to one on a new
+// scheduler, because event ordering depends only on (time, sequence),
+// never on slot indices.
+func (s *Scheduler) Reset() {
+	s.heap = s.heap[:0]
+	s.free = s.free[:0]
+	for i := range s.slots {
+		sl := &s.slots[i]
+		sl.gen++
+		sl.heapIdx = -1
+		sl.fn = nil
+		sl.act = nil
+		s.free = append(s.free, int32(i))
 	}
-	return sa.seq < sb.seq
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+}
+
+// less orders heap entries by (time, sequence): FIFO within one instant.
+func less(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // The heap is 4-ary: children of heap position i sit at 4i+1..4i+4.
@@ -278,24 +308,24 @@ func (s *Scheduler) less(a, b int32) bool {
 
 // siftUp restores the heap property upward from position i.
 func (s *Scheduler) siftUp(i int) {
-	idx := s.heap[i]
+	e := s.heap[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !s.less(idx, s.heap[parent]) {
+		if !less(e, s.heap[parent]) {
 			break
 		}
 		s.heap[i] = s.heap[parent]
-		s.slots[s.heap[i]].heapIdx = int32(i)
+		s.slots[s.heap[i].idx].heapIdx = int32(i)
 		i = parent
 	}
-	s.heap[i] = idx
-	s.slots[idx].heapIdx = int32(i)
+	s.heap[i] = e
+	s.slots[e.idx].heapIdx = int32(i)
 }
 
 // siftDown restores the heap property downward from position i,
 // reporting whether the entry moved.
 func (s *Scheduler) siftDown(i int) bool {
-	idx := s.heap[i]
+	e := s.heap[i]
 	start := i
 	n := len(s.heap)
 	for {
@@ -309,18 +339,18 @@ func (s *Scheduler) siftDown(i int) bool {
 			end = n
 		}
 		for c := first + 1; c < end; c++ {
-			if s.less(s.heap[c], s.heap[best]) {
+			if less(s.heap[c], s.heap[best]) {
 				best = c
 			}
 		}
-		if !s.less(s.heap[best], idx) {
+		if !less(s.heap[best], e) {
 			break
 		}
 		s.heap[i] = s.heap[best]
-		s.slots[s.heap[i]].heapIdx = int32(i)
+		s.slots[s.heap[i].idx].heapIdx = int32(i)
 		i = best
 	}
-	s.heap[i] = idx
-	s.slots[idx].heapIdx = int32(i)
+	s.heap[i] = e
+	s.slots[e.idx].heapIdx = int32(i)
 	return i != start
 }

@@ -306,3 +306,49 @@ func TestSchedulerFiredCounter(t *testing.T) {
 		t.Fatalf("Len() = %d, want 0", s.Len())
 	}
 }
+
+// TestSchedulerReset pins the arena-reuse contract: after Reset the
+// scheduler behaves exactly like a fresh one (same firing order for the
+// same schedule), pending events are gone, their handles are inert, and
+// the counters restart from zero.
+func TestSchedulerReset(t *testing.T) {
+	run := func(s *Scheduler) []int {
+		var order []int
+		s.After(30*time.Millisecond, func() { order = append(order, 3) })
+		s.After(10*time.Millisecond, func() { order = append(order, 1) })
+		s.After(10*time.Millisecond, func() { order = append(order, 2) }) // FIFO tie
+		s.RunUntil(time.Second)
+		return order
+	}
+
+	s := NewScheduler()
+	// Grow the arena with some churn, leave events pending, then reset.
+	for i := 0; i < 100; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.RunUntil(50 * time.Millisecond)
+	stale := s.After(time.Hour, func() { t.Fatal("stale event fired after Reset") })
+	s.Reset()
+
+	if s.Now() != 0 || s.Len() != 0 || s.Fired() != 0 {
+		t.Fatalf("after Reset: now=%v len=%d fired=%d, want all zero", s.Now(), s.Len(), s.Fired())
+	}
+	if stale.Pending() {
+		t.Fatal("pre-Reset handle still pending")
+	}
+	s.Cancel(stale) // must be a harmless no-op
+
+	got := run(s)
+	want := run(NewScheduler())
+	if len(got) != len(want) {
+		t.Fatalf("reset scheduler fired %d events, fresh fired %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverged at %d: reset=%v fresh=%v", i, got, want)
+		}
+	}
+	if s.Fired() != uint64(len(want)) {
+		t.Fatalf("Fired() = %d after reset run, want %d", s.Fired(), len(want))
+	}
+}

@@ -145,6 +145,19 @@ func NewTCP(sched *sim.Scheduler, src *sim.Source, stack *network.Stack, mss int
 // Listen registers an accept callback for a local port.
 func (t *TCP) Listen(port uint16, accept func(*Conn)) { t.listeners[port] = accept }
 
+// Reset discards every connection and listener and re-derives the ISN
+// stream from src (which the caller has just Reseed-ed), returning the
+// TCP layer to its just-constructed state for a new run on a reused
+// network. The owning scheduler must have been Reset first, so the
+// discarded connections' timers are already gone.
+func (t *TCP) Reset(src *sim.Source) {
+	t.rng = src.Stream("tcp.iss." + t.stack.Addr().String())
+	clear(t.conns)
+	clear(t.listeners)
+	t.nextPort = 49152
+	t.Orphans = 0
+}
+
 // Dial opens a connection to dst:port and starts the three-way
 // handshake. Writes may be queued immediately; they flow once the
 // handshake completes.

@@ -42,6 +42,14 @@ func NewUDP(stack *network.Stack) *UDP {
 // Listen binds a handler to a local port, replacing any previous one.
 func (u *UDP) Listen(port uint16, h UDPHandler) { u.ports[port] = h }
 
+// Reset drops all port bindings and counters for a new run on a reused
+// network. The stack registration survives (it was made once at
+// construction); sinks re-Listen per run.
+func (u *UDP) Reset() {
+	clear(u.ports)
+	u.Sent, u.Received, u.NoPort = 0, 0, 0
+}
+
 // SendTo transmits one datagram. Errors propagate from the stack (e.g.
 // MAC queue full), letting sources implement backpressure.
 func (u *UDP) SendTo(payload []byte, dst network.Addr, srcPort, dstPort uint16) error {
