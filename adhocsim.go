@@ -188,6 +188,10 @@ type (
 	LossPoint = experiments.LossPoint
 	// RangeEstimate is one Table 3 row.
 	RangeEstimate = experiments.RangeEstimate
+	// ChainConfig configures the multi-hop goodput-vs-hop-count sweep.
+	ChainConfig = experiments.ChainConfig
+	// ChainPoint is one cell of that sweep.
+	ChainPoint = experiments.ChainPoint
 )
 
 // Workload transports.
@@ -209,6 +213,10 @@ var (
 	Figure11     = experiments.Figure11
 	Figure12     = experiments.Figure12
 	Table3       = experiments.Table3
+	// RunChainThroughput measures end-to-end goodput vs hop count over
+	// a relay string (UDP and TCP), the canonical multi-hop result the
+	// routing subsystem opens up.
+	RunChainThroughput = experiments.RunChainThroughput
 )
 
 // Parallel replication harness (internal/runner): every experiment can
@@ -272,6 +280,10 @@ type (
 	ScenarioStationOverride = scenario.StationOverride
 	// ScenarioMobility attaches a movement model to stations.
 	ScenarioMobility = scenario.Mobility
+	// ScenarioRouting enables a route control plane ("static" min-hop
+	// compilation or on-air "dsdv"), which is what lets flows span
+	// more than one hop.
+	ScenarioRouting = scenario.RoutingParams
 )
 
 // ScenarioDuration converts a time.Duration to the Spec's JSON-friendly

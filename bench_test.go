@@ -231,6 +231,48 @@ func BenchmarkScenarioReplicate(b *testing.B) {
 	}
 }
 
+// BenchmarkChain8Multihop measures the chain-8 preset end to end: DSDV
+// discovering an 8-station string on the air and relaying a paced UDP
+// flow over 7 hops. It is the routing subsystem's macro benchmark — the
+// control plane (advertisement broadcasts, triggered updates, neighbor
+// admission) and the forwarding path (per-hop route lookup, TTL
+// accounting) both sit on the measured path, so regressions in either
+// show up here. The arena is built once and re-seeded per iteration,
+// exercising the routing Reset path the replication sweeps rely on.
+func BenchmarkChain8Multihop(b *testing.B) {
+	spec, err := scenario.Preset("chain-8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Duration = scenario.Duration(4 * time.Second)
+	inst, err := scenario.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := inst.Spec.Duration.D()
+	var res scenario.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inst.Reset(spec.Seed); err != nil {
+			b.Fatal(err)
+		}
+		inst.Net.Run(horizon)
+		res = inst.Collect(horizon)
+		if res.Flows[0].Received == 0 {
+			b.Fatal("chain delivered nothing: the bench is not exercising forwarding")
+		}
+	}
+	var forwarded, ctlBytes uint64
+	for _, st := range res.Stations {
+		forwarded += st.NetForwarded
+		ctlBytes += st.CtlBytes
+	}
+	b.ReportMetric(res.Flows[0].GoodputKbps, "kbps_goodput")
+	b.ReportMetric(float64(res.Flows[0].Hops), "hops")
+	b.ReportMetric(float64(forwarded), "pkts_forwarded")
+	b.ReportMetric(float64(ctlBytes), "ctl_bytes")
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // fourNodeWith runs the Figure 7 UDP/basic scenario with a config hook,

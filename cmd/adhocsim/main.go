@@ -32,12 +32,13 @@ import (
 	"adhocsim/internal/capacity"
 	"adhocsim/internal/experiments"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/routing"
 	"adhocsim/internal/runner"
 	"adhocsim/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig2, fig3, fig4, table3, fig7, fig9, fig11, fig12, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig2, fig3, fig4, table3, fig7, fig9, fig11, fig12, chain, all")
 	seed := flag.Uint64("seed", 42, "root random seed; replication seeds derive from it")
 	dur := flag.Duration("dur", 10*time.Second, "measurement horizon for throughput experiments")
 	packets := flag.Int("packets", 200, "probes per distance for loss sweeps")
@@ -49,6 +50,8 @@ func main() {
 	scen := flag.String("scenario", "", "run a declarative scenario: a spec .json file or a preset name (see -list-scenarios)")
 	listScen := flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
 	rebuild := flag.Bool("rebuild-each-rep", false, "verification: rebuild the network for every scenario replication instead of re-seeding each worker's arena (results are identical, only slower)")
+	routingProto := flag.String("routing", "static", "route control plane for -exp chain: static or dsdv")
+	hops := flag.Int("hops", 8, "longest chain for -exp chain (hops, not stations)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
@@ -77,7 +80,7 @@ func main() {
 				seedOv = seed
 			case "dur":
 				durOv = dur
-			case "exp", "csv", "packets":
+			case "exp", "csv", "packets", "routing", "hops":
 				fmt.Fprintf(os.Stderr, "adhocsim: -%s has no effect in -scenario mode\n", f.Name)
 			}
 		})
@@ -177,6 +180,32 @@ func main() {
 		emit(experiments.RenderFourNode(
 			"Figure 12. Symmetric scenario, 2 Mbit/s, 25/62.5/25 m", "4->3", cells), cells)
 	})
+	// The chain sweep is an extension beyond the paper's figures, so it
+	// runs only when named — "all" keeps meaning "the paper".
+	if *exp == "chain" {
+		if *routingProto != routing.ProtocolStatic && *routingProto != routing.ProtocolDSDV {
+			fmt.Fprintf(os.Stderr, "adhocsim: -routing %q: want one of %v\n", *routingProto, routing.Protocols())
+			exit(2)
+		}
+		if *hops < 1 {
+			fmt.Fprintf(os.Stderr, "adhocsim: -hops must be ≥ 1\n")
+			exit(2)
+		}
+		cfg := experiments.ChainConfig{
+			MaxHops:  *hops,
+			Routing:  *routingProto,
+			Seed:     *seed,
+			Duration: *dur,
+		}
+		points, err := experiments.ChainThroughputReps(cfg, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+			exit(1)
+		}
+		emit(experiments.RenderChain(cfg, points), points)
+		fmt.Println()
+		ok = true
+	}
 
 	if !ok {
 		fmt.Fprintf(os.Stderr, "adhocsim: unknown experiment %q\n", *exp)
@@ -246,16 +275,26 @@ func exit(code int) {
 	os.Exit(code)
 }
 
-// listScenarios prints the preset library, one name per line with its
-// description, plus the valid topology kinds and profile names for spec
-// authors.
+// listScenarios prints the preset library, one line per preset with its
+// one-line description, plus the valid topology kinds, profile names
+// and routing protocols for spec authors. The name column sizes itself
+// to the longest preset name so descriptions stay aligned as the
+// library grows.
 func listScenarios() {
+	presets := scenario.Presets()
+	width := 0
+	for _, p := range presets {
+		if len(p.Name) > width {
+			width = len(p.Name)
+		}
+	}
 	fmt.Println("Built-in scenarios (run with -scenario <name>):")
-	for _, p := range scenario.Presets() {
-		fmt.Printf("  %-18s %s\n", p.Name, p.Description)
+	for _, p := range presets {
+		fmt.Printf("  %-*s  %s\n", width, p.Name, p.Description)
 	}
 	fmt.Printf("\nTopology kinds for JSON specs: %s\n", strings.Join(scenario.TopologyKinds(), ", "))
 	fmt.Printf("Radio profiles: %s\n", strings.Join(scenario.ProfileNames(), ", "))
+	fmt.Printf("Routing protocols (\"routing\" spec block): %s\n", strings.Join(routing.Protocols(), ", "))
 }
 
 // runScenario resolves ref as a spec file (when it exists or ends in

@@ -30,10 +30,16 @@ type CBR struct {
 	seq     uint32
 	started bool
 	filling bool // re-entrancy guard: queue-space events fire inside SendTo
+	retry   bool // a saturating-mode retry tick is pending
 
 	// Sent counts datagrams handed to UDP successfully.
 	Sent uint64
 }
+
+// retryInterval is how soon a saturating source retries after a send
+// failed outright (no route yet under dynamic routing). Queue-space
+// events cannot rescue it: nothing was queued, so none will fire.
+const retryInterval = 10 * time.Millisecond
 
 // NewCBR creates a CBR source on station from, addressed to dst:port,
 // sending size-byte application packets. interval==0 selects the
@@ -75,6 +81,16 @@ func (c *CBR) fill() {
 	// flows on this station are never starved by the saturator.
 	for c.from.Net.QueueFree() > 1 {
 		if !c.sendOne() {
+			// With an empty MAC queue there is no queue-space event to
+			// wake us (the failure was not backpressure — e.g. routing
+			// has not resolved the destination yet), so poll on a timer.
+			if !c.retry && c.from.Net.MAC().QueueLen() == 0 {
+				c.retry = true
+				c.net.Sched.After(retryInterval, func() {
+					c.retry = false
+					c.fill()
+				})
+			}
 			return
 		}
 	}

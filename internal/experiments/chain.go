@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"adhocsim/internal/phy"
+	"adhocsim/internal/routing"
+	"adhocsim/internal/runner"
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/stats"
+)
+
+// This file runs the canonical string-topology workload the source
+// paper stops short of: end-to-end goodput versus hop count over a
+// chain of relays, UDP and TCP, on top of the calibrated PHY/MAC. The
+// per-hop geometry keeps every link comfortably inside the data rate's
+// transmission range, so the curve isolates what multi-hop forwarding
+// itself costs — intra-path contention (a relay cannot receive while
+// its predecessor or successor transmits) plus, under DSDV, the
+// control-plane's convergence and overhead.
+
+// ChainConfig parameterizes RunChainThroughput.
+type ChainConfig struct {
+	// MaxHops is the longest chain measured (default 8): points run at
+	// 1..MaxHops hops, i.e. 2..MaxHops+1 stations.
+	MaxHops int
+	// SpacingM is the per-hop distance in meters (default 20, ~5 dB of
+	// fade margin at 11 Mbit/s).
+	SpacingM float64
+	// Rate is the data rate (default 11 Mbit/s).
+	Rate phy.Rate
+	// Routing selects the control plane: routing.ProtocolStatic
+	// (default) or routing.ProtocolDSDV.
+	Routing string
+	// PacketSize is the application payload (default 512, the paper's).
+	PacketSize int
+	// Duration is the measurement horizon per point (default 10s).
+	Duration time.Duration
+	// Seed roots each point's run; replication seeds derive from it.
+	Seed uint64
+}
+
+func (c ChainConfig) withDefaults() ChainConfig {
+	if c.MaxHops == 0 {
+		c.MaxHops = 8
+	}
+	if c.SpacingM == 0 {
+		c.SpacingM = 20
+	}
+	if c.Rate == 0 {
+		c.Rate = phy.Rate11
+	}
+	if c.Routing == "" {
+		c.Routing = routing.ProtocolStatic
+	}
+	if c.PacketSize == 0 {
+		c.PacketSize = 512
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	return c
+}
+
+// Spec compiles one point of the sweep: a saturating flow across a
+// string of hops+1 stations.
+func (c ChainConfig) Spec(hops int, tr Transport) scenario.Spec {
+	c = c.withDefaults()
+	rp := &scenario.RoutingParams{Protocol: c.Routing}
+	if c.Routing == routing.ProtocolDSDV {
+		// Keep marginal multi-hop shortcuts out of the neighbor set, as
+		// the chain presets do (see their definition).
+		rp.NeighborMarginDB = 3
+	}
+	return scenario.Spec{
+		Name:        fmt.Sprintf("chain-%dhop-%s", hops, tr.scenarioTransport()),
+		Description: "goodput vs hop count sweep point",
+		Seed:        c.Seed,
+		Duration:    scenario.Duration(c.Duration),
+		MSS:         c.PacketSize,
+		Topology:    scenario.Topology{Kind: scenario.KindLine, N: hops + 1, Spacing: c.SpacingM},
+		MAC:         scenario.MACParams{RateMbps: c.Rate.Mbps()},
+		Routing:     rp,
+		Flows: []scenario.Flow{{
+			Src: 0, Dst: hops,
+			Transport:  tr.scenarioTransport(),
+			PacketSize: c.PacketSize,
+			Port:       9000,
+		}},
+	}
+}
+
+// ChainPoint is one cell of the goodput-vs-hop-count result.
+type ChainPoint struct {
+	Hops      int       `json:"hops"`
+	Transport Transport `json:"transport"`
+	// Kbps is the end-to-end application goodput (replication mean) and
+	// KbpsCI its 95% confidence half-width (0 for a single run).
+	Kbps   float64 `json:"kbps"`
+	KbpsCI float64 `json:"kbps_ci95"`
+	// PathHops is the mean hop count delivered packets actually
+	// traveled (equals Hops when routing found the string; lower means
+	// a shortcut, 0 means nothing arrived).
+	PathHops float64 `json:"path_hops"`
+	// CtlKbps is the routing control-plane overhead summed over all
+	// stations (0 for static routing).
+	CtlKbps float64 `json:"ctl_kbps"`
+}
+
+// RunChainThroughput measures end-to-end goodput versus hop count for
+// both transports: the canonical string-topology result. Points are
+// ordered UDP 1..MaxHops hops, then TCP likewise. An invalid config
+// (unknown protocol, unroutable geometry) returns an error.
+func RunChainThroughput(cfg ChainConfig) ([]ChainPoint, error) {
+	return ChainThroughputReps(cfg, Rep{})
+}
+
+// ChainThroughputReps is RunChainThroughput with replication: each
+// point aggregates rep.Replications independently seeded runs.
+func ChainThroughputReps(cfg ChainConfig, rep Rep) ([]ChainPoint, error) {
+	cfg = cfg.withDefaults()
+	var points []ChainPoint
+	for _, tr := range []Transport{UDP, TCP} {
+		for hops := 1; hops <= cfg.MaxHops; hops++ {
+			sum, err := scenario.Replicate(cfg.Spec(hops, tr), rep.reps(), rep.Workers, rep.Progress)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: chain point %d hops: %w", hops, err)
+			}
+			p := ChainPoint{
+				Hops:      hops,
+				Transport: tr,
+				Kbps:      sum.Flows[0].Kbps.Mean,
+				KbpsCI:    sum.Flows[0].Kbps.CI95,
+				PathHops:  sum.Flows[0].Hops.Mean,
+			}
+			ctl := runner.SummarizeBy(sum.Runs, func(r scenario.Result) float64 {
+				var bytes uint64
+				for _, st := range r.Stations {
+					bytes += st.CtlBytes
+				}
+				return stats.Kbps(bytes, r.Duration.D())
+			})
+			p.CtlKbps = ctl.Mean
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// RenderChain prints the sweep as the CLI table: one row per hop count,
+// goodput columns per transport.
+func RenderChain(cfg ChainConfig, points []ChainPoint) string {
+	cfg = cfg.withDefaults()
+	byKey := map[[2]int]ChainPoint{}
+	withCI := false
+	for _, p := range points {
+		byKey[[2]int{int(p.Transport), p.Hops}] = p
+		if p.KbpsCI > 0 {
+			withCI = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chain throughput vs hop count (%s routing, %v, %d-byte packets, %.0f m hops)\n",
+		cfg.Routing, cfg.Rate, cfg.PacketSize, cfg.SpacingM)
+	fmt.Fprintf(&b, "%-5s | %-22s | %-22s | %-9s | %s\n", "hops", "UDP [kbit/s]", "TCP [kbit/s]", "udp path", "ctl [kbit/s]")
+	cell := func(p ChainPoint) string {
+		if withCI {
+			return fmt.Sprintf("%8.1f ± %-7.1f", p.Kbps, p.KbpsCI)
+		}
+		return fmt.Sprintf("%8.1f", p.Kbps)
+	}
+	for hops := 1; hops <= cfg.MaxHops; hops++ {
+		u := byKey[[2]int{int(UDP), hops}]
+		t := byKey[[2]int{int(TCP), hops}]
+		fmt.Fprintf(&b, "%-5d | %-22s | %-22s | %9.1f | %10.2f\n",
+			hops, cell(u), cell(t), u.PathHops, u.CtlKbps)
+	}
+	return b.String()
+}

@@ -173,7 +173,8 @@ func (m *MAC) txAttempt() {
 	}
 	// The data rate is (re-)selected per attempt so that a rate
 	// controller can adapt retransmissions, as real ARF firmware does.
-	if !pkt.isBeacon {
+	// Beacons and pinned control frames keep their fixed basic rate.
+	if !pkt.isBeacon && !pkt.pinned {
 		pkt.rate = m.DataRate()
 	}
 	if m.usesRTS(pkt) && !pkt.ctsOK {
@@ -253,9 +254,7 @@ func (m *MAC) TxDone() {
 // outcome paths ---------------------------------------------------------
 
 func (m *MAC) txSuccess() {
-	if rc := m.cfg.RateControl; rc != nil && !m.current.isBeacon {
-		rc.OnSuccess()
-	}
+	m.notifyTx(m.current, true, true)
 	m.Counters.TxSuccess++
 	m.sched.Cancel(m.timeoutEv)
 	m.cw = phy.CWMin
@@ -289,9 +288,6 @@ func (m *MAC) txFail(short bool) {
 	if pkt == nil {
 		return
 	}
-	if rc := m.cfg.RateControl; rc != nil && !pkt.isBeacon {
-		rc.OnFailure()
-	}
 	m.sched.Cancel(m.timeoutEv)
 	if short {
 		pkt.shortRetry++
@@ -302,6 +298,7 @@ func (m *MAC) txFail(short bool) {
 	pkt.needsBackoff = true
 
 	exceeded := pkt.shortRetry > m.cfg.ShortRetryLimit || pkt.longRetry > m.cfg.LongRetryLimit
+	m.notifyTx(pkt, false, exceeded)
 	if exceeded {
 		m.Counters.TxDrops++
 		m.current = nil
@@ -396,6 +393,7 @@ func (m *MAC) RxEnd(f *frame.Frame, rate phy.Rate, rssiDBm float64, ok bool) {
 	}
 	// An error-free reception terminates any standing EIFS obligation.
 	m.lastRxError = false
+	m.lastRxRSSI = rssiDBm
 	now := m.sched.Now()
 	if f.Addr1 != m.cfg.Address {
 		// Third party traffic: honour its channel reservation.

@@ -63,6 +63,12 @@ type Config struct {
 	// RateControl, when non-nil, selects the data rate per MSDU and
 	// observes transmission outcomes (e.g. ARF). When nil the MAC uses
 	// the fixed DataRate, as the paper's experiments do.
+	//
+	// Observation-wise this field is a deprecated alias: the controller
+	// is adapted onto the generalized transmit-observer list (see
+	// TxObserver and MAC.AddTxObserver), so rate adaptation and other
+	// outcome consumers — routing link-failure detection — coexist.
+	// Rate *selection* still goes through RateControl.Rate alone.
 	RateControl RateController
 	// DisableEIFS is an ablation switch: PHY errors defer by plain DIFS
 	// instead of EIFS. The four-node asymmetry benches use it to isolate
@@ -162,6 +168,10 @@ type msdu struct {
 	longRetry  int
 	ctsOK      bool // RTS/CTS handshake completed
 	isBeacon   bool
+	// pinned marks control-plane MSDUs whose rate was fixed at queue
+	// time (SendControl): rate controllers neither choose their rate nor
+	// observe their outcomes, exactly like beacons.
+	pinned bool
 	// needsBackoff is false only for frames eligible for the standard's
 	// immediate-access rule (arrived to an idle pipeline on an idle
 	// channel); every retry and every queued frame backs off.
@@ -180,6 +190,10 @@ type MAC struct {
 	deliver    func(payload []byte, src frame.Addr)
 	queueSpace func()
 	beaconSeen func(src frame.Addr)
+
+	// txObservers receive transmit outcomes (rate controllers, routing
+	// link-failure detectors). Construction-time wiring; survives Reset.
+	txObservers []TxObserver
 
 	queue   []*msdu
 	current *msdu
@@ -208,6 +222,10 @@ type MAC struct {
 	rxSeq  map[frame.Addr]uint16 // last delivered sequence per source
 	rxSeqV map[frame.Addr]bool
 
+	// lastRxRSSI is the received power of the most recent error-free
+	// reception; see LastRxRSSIDBm.
+	lastRxRSSI float64
+
 	Counters Counters
 }
 
@@ -225,6 +243,9 @@ func New(sched *sim.Scheduler, src *sim.Source, cfg Config) *MAC {
 		backoff: -1,
 		rxSeq:   make(map[frame.Addr]uint16),
 		rxSeqV:  make(map[frame.Addr]bool),
+	}
+	if cfg.RateControl != nil {
+		m.txObservers = append(m.txObservers, rateControlObserver{cfg.RateControl})
 	}
 	return m
 }
@@ -280,6 +301,7 @@ func (m *MAC) Reset(src *sim.Source) {
 	m.seq = 0
 	clear(m.rxSeq)
 	clear(m.rxSeqV)
+	m.lastRxRSSI = 0
 	m.Counters = Counters{}
 	// Mirror Attach's channel-state initialization and beacon arming, in
 	// the same order, so a Reset network schedules the same t=0 events
@@ -311,6 +333,15 @@ func (m *MAC) QueueCap() int { return m.cfg.QueueCap }
 // OnDeliver registers the upper-layer receive callback.
 func (m *MAC) OnDeliver(fn func(payload []byte, src frame.Addr)) { m.deliver = fn }
 
+// LastRxRSSIDBm returns the received power of the most recent
+// error-free reception. Delivery is a synchronous call chain (PHY →
+// MAC → network → transport), so a handler reading this during its own
+// callback sees exactly the frame it is handling — the hook routing
+// protocols use to reject neighbors whose advertisements arrive too
+// weak to carry data ("gray zone" filtering). Zero before any
+// reception.
+func (m *MAC) LastRxRSSIDBm() float64 { return m.lastRxRSSI }
+
 // OnQueueSpace registers a callback invoked whenever queue space becomes
 // available, for saturating sources that keep the MAC busy.
 func (m *MAC) OnQueueSpace(fn func()) { m.queueSpace = fn }
@@ -322,14 +353,32 @@ func (m *MAC) OnBeacon(fn func(src frame.Addr)) { m.beaconSeen = fn }
 // be frame.Broadcast). It returns ErrQueueFull when the queue is at
 // capacity and ErrTooLarge for oversized MSDUs.
 func (m *MAC) Send(payload []byte, to frame.Addr) error {
-	if len(payload) > MaxMSDU {
+	return m.enqueue(&msdu{payload: payload, to: to, rate: m.DataRate()})
+}
+
+// SendControl queues a control-plane MSDU pinned to the given PHY rate:
+// the frame is exempt from rate control (neither re-rated per attempt
+// nor reported to rate observers), like a beacon. Routing protocols use
+// it so their advertisements ride a basic rate every station decodes —
+// the same rule the standard applies to RTS/CTS/ACK.
+func (m *MAC) SendControl(payload []byte, to frame.Addr, rate phy.Rate) error {
+	if !rate.Valid() {
+		panic(fmt.Sprintf("mac: invalid control rate %d", rate))
+	}
+	return m.enqueue(&msdu{payload: payload, to: to, rate: rate, pinned: true})
+}
+
+// enqueue admits one MSDU (rate and flags already chosen) to the
+// transmit queue.
+func (m *MAC) enqueue(pkt *msdu) error {
+	if len(pkt.payload) > MaxMSDU {
 		return ErrTooLarge
 	}
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.Counters.QueueDrops++
 		return ErrQueueFull
 	}
-	pkt := &msdu{payload: payload, to: to, seq: m.nextSeq(), rate: m.DataRate()}
+	pkt.seq = m.nextSeq()
 	m.queue = append(m.queue, pkt)
 	m.Counters.MSDUQueued++
 	m.kick()

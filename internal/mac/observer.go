@@ -1,0 +1,81 @@
+package mac
+
+import "adhocsim/internal/frame"
+
+// TxOutcome describes the fate of one transmission event for a data
+// MSDU, as reported to the MAC's transmit observers. Two kinds of event
+// are reported, mirroring the legacy RateController semantics exactly:
+//
+//   - a completed MSDU (Success && Final): the frame was acknowledged,
+//     or was a broadcast and left the air;
+//   - a failed attempt (!Success): one transmission attempt ended in a
+//     CTS or ACK timeout. Final is additionally set when that failure
+//     drove the MSDU past its retry limit and out of the pipeline.
+//
+// Beacons are not reported (they never were to rate controllers
+// either). Control-plane MSDUs queued through SendControl are reported
+// with Control set so rate-adaptation observers can ignore them.
+type TxOutcome struct {
+	// To is the MSDU's link-layer destination — for routing protocols,
+	// the next hop whose link just proved itself alive or dead.
+	To frame.Addr
+	// Success reports a completed MSDU; false is a failed attempt.
+	Success bool
+	// Final reports that the MSDU left the transmit pipeline: delivered,
+	// or dropped at the retry limit. A Final failure is the MAC-level
+	// signal that the link to To is broken.
+	Final bool
+	// Control marks MSDUs queued via SendControl (pinned basic-rate
+	// control traffic, e.g. routing advertisements). Rate controllers
+	// ignore these; they are not subject to rate adaptation.
+	Control bool
+}
+
+// TxObserver receives transmit outcomes. Multiple observers can
+// subscribe to one MAC (AddTxObserver); ARF-style rate adaptation and
+// routing link-failure detection coexist this way.
+type TxObserver interface {
+	ObserveTx(TxOutcome)
+}
+
+// TxObserverFunc adapts a plain function to the TxObserver interface.
+type TxObserverFunc func(TxOutcome)
+
+// ObserveTx implements TxObserver.
+func (f TxObserverFunc) ObserveTx(o TxOutcome) { f(o) }
+
+// rateControlObserver adapts the legacy RateController observation
+// surface (OnSuccess/OnFailure) onto the generalized observer list, so
+// Config.RateControl keeps working unchanged: OnSuccess per completed
+// MSDU, OnFailure per failed attempt, beacons and pinned control frames
+// excluded.
+type rateControlObserver struct{ rc RateController }
+
+func (a rateControlObserver) ObserveTx(o TxOutcome) {
+	if o.Control {
+		return
+	}
+	if o.Success {
+		a.rc.OnSuccess()
+	} else {
+		a.rc.OnFailure()
+	}
+}
+
+// AddTxObserver subscribes an observer to this MAC's transmit outcomes.
+// Subscriptions are construction-time wiring: they survive Reset, like
+// the delivery callback. Observers are notified in subscription order;
+// a Config.RateControl adapter, when present, is always first.
+func (m *MAC) AddTxObserver(o TxObserver) { m.txObservers = append(m.txObservers, o) }
+
+// notifyTx reports a transmit outcome for pkt to every observer.
+// Beacons are excluded, preserving the legacy RateController contract.
+func (m *MAC) notifyTx(pkt *msdu, success, final bool) {
+	if pkt.isBeacon || len(m.txObservers) == 0 {
+		return
+	}
+	o := TxOutcome{To: pkt.to, Success: success, Final: final, Control: pkt.pinned}
+	for _, obs := range m.txObservers {
+		obs.ObserveTx(o)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"adhocsim/internal/frame"
 	"adhocsim/internal/mac"
+	"adhocsim/internal/phy"
 )
 
 // Addr is an IPv4-style address.
@@ -63,6 +64,10 @@ type Protocol uint8
 const (
 	ProtoTCP Protocol = 6
 	ProtoUDP Protocol = 17
+	// ProtoRouting carries route control-plane traffic (DSDV
+	// advertisements). 253 is an RFC 3692 experimentation number —
+	// DSDV never received an IANA assignment.
+	ProtoRouting Protocol = 253
 )
 
 // HeaderBytes is the network header size: the same 20 bytes as IPv4,
@@ -155,6 +160,10 @@ type Stack struct {
 	handlers  map[Protocol]Handler
 	space     []func() // transmit-queue space subscribers
 
+	// rxHops records, per source, how many MAC hops the most recently
+	// delivered packet from that source traveled (derived from its TTL).
+	rxHops map[Addr]uint8
+
 	// frozenSpace is the length of space at FreezeSubscribers time: the
 	// construction-time (transport) subscribers that survive Reset,
 	// as opposed to per-run application sources registered later.
@@ -162,7 +171,18 @@ type Stack struct {
 
 	Forwarding bool // enable packet forwarding (off by default)
 
-	// Counters.
+	// RequireRoutes makes unicast sends fail with ErrNoRoute when the
+	// destination has no entry in the route table, instead of falling
+	// back to a direct link-layer transmission. Route control planes
+	// (internal/routing) set it: under routing, the table — which then
+	// covers direct neighbors too — is the single source of reachability
+	// truth, and a destination the protocol has not (yet) resolved is
+	// genuinely unreachable rather than worth an on-air shot in the
+	// dark.
+	RequireRoutes bool
+
+	// Counters. Sent counts locally originated packets only (control
+	// included); relayed packets count in Forwarded, never both.
 	Sent, Received, Forwarded, Dropped uint64
 }
 
@@ -176,6 +196,7 @@ func NewStack(m *mac.MAC, addr Addr) *Stack {
 		neighbors: make(map[Addr]frame.Addr),
 		routes:    make(map[Addr]Addr),
 		handlers:  make(map[Protocol]Handler),
+		rxHops:    make(map[Addr]uint8),
 	}
 	m.OnDeliver(s.receive)
 	m.OnQueueSpace(func() {
@@ -199,6 +220,29 @@ func (s *Stack) AddNeighbor(ip Addr, hw frame.Addr) { s.neighbors[ip] = hw }
 // AddRoute installs a static route: packets for dst go via nextHop,
 // which must itself be a neighbor.
 func (s *Stack) AddRoute(dst, nextHop Addr) { s.routes[dst] = nextHop }
+
+// DelRoute removes the route for dst, if any.
+func (s *Stack) DelRoute(dst Addr) { delete(s.routes, dst) }
+
+// ClearRoutes empties the route table. Route compilers call it before
+// (re-)installing a topology's routes on a reused stack.
+func (s *Stack) ClearRoutes() { clear(s.routes) }
+
+// NextHop returns the installed next hop for dst, if a route exists.
+func (s *Stack) NextHop(dst Addr) (Addr, bool) {
+	via, ok := s.routes[dst]
+	return via, ok
+}
+
+// Routes returns the number of installed routes.
+func (s *Stack) Routes() int { return len(s.routes) }
+
+// HopsFrom reports how many MAC hops the most recently delivered packet
+// from src traveled to reach this stack (1 = direct link), or 0 when
+// nothing from src has been delivered this run. This is a data-path
+// measurement — derived from the received TTL — not a routing-table
+// lookup, so it reports the hops actually taken.
+func (s *Stack) HopsFrom(src Addr) int { return int(s.rxHops[src]) }
 
 // Handle registers the receiver for a transport protocol.
 func (s *Stack) Handle(p Protocol, h Handler) { s.handlers[p] = h }
@@ -224,6 +268,7 @@ func (s *Stack) Reset() {
 		s.space[i] = nil
 	}
 	s.space = s.space[:s.frozenSpace]
+	clear(s.rxHops)
 	s.Sent, s.Received, s.Forwarded, s.Dropped = 0, 0, 0, 0
 }
 
@@ -234,12 +279,16 @@ func (s *Stack) QueueFree() int { return s.mac.QueueCap() - s.mac.QueueLen() }
 // link-layer broadcast; unicast packets resolve dst (or its route's next
 // hop) through the neighbor table.
 func (s *Stack) Send(p Protocol, payload []byte, dst Addr) error {
-	return s.send(Header{
+	err := s.send(Header{
 		Src:   s.addr,
 		Dst:   dst,
 		Proto: p,
 		TTL:   DefaultTTL,
 	}, payload)
+	if err == nil {
+		s.Sent++
+	}
+	return err
 }
 
 func (s *Stack) send(h Header, payload []byte) error {
@@ -251,6 +300,9 @@ func (s *Stack) send(h Header, payload []byte) error {
 		next := h.Dst
 		if via, ok := s.routes[h.Dst]; ok {
 			next = via
+		} else if s.RequireRoutes {
+			s.Dropped++
+			return fmt.Errorf("%w: %v", ErrNoRoute, h.Dst)
 		}
 		var ok bool
 		if hw, ok = s.neighbors[next]; !ok {
@@ -259,6 +311,34 @@ func (s *Stack) send(h Header, payload []byte) error {
 		}
 	}
 	if err := s.mac.Send(EncodeHeader(h, payload), hw); err != nil {
+		s.Dropped++
+		return fmt.Errorf("network: %w", err)
+	}
+	return nil
+}
+
+// SendControl transmits a control-plane payload pinned to the given PHY
+// rate (see mac.SendControl). Unlike Send it never consults the route
+// table: control planes address their link neighbors directly — that is
+// how routes get bootstrapped in the first place — and their frames ride
+// a basic rate every station can decode.
+func (s *Stack) SendControl(p Protocol, payload []byte, dst Addr, rate phy.Rate) error {
+	h := Header{
+		Src:    s.addr,
+		Dst:    dst,
+		Proto:  p,
+		TTL:    1, // control frames are link-local, never forwarded
+		Length: uint16(HeaderBytes + len(payload)),
+	}
+	hw := frame.Broadcast
+	if dst != Broadcast {
+		var ok bool
+		if hw, ok = s.neighbors[dst]; !ok {
+			s.Dropped++
+			return fmt.Errorf("%w: %v", ErrNoNeighbor, dst)
+		}
+	}
+	if err := s.mac.SendControl(EncodeHeader(h, payload), hw, rate); err != nil {
 		s.Dropped++
 		return fmt.Errorf("network: %w", err)
 	}
@@ -275,6 +355,15 @@ func (s *Stack) receive(msdu []byte, from frame.Addr) {
 	}
 	if h.Dst == s.addr || h.Dst == Broadcast {
 		s.Received++
+		if h.Dst == s.addr && s.Forwarding && h.Proto != ProtoRouting {
+			// TTL arithmetic over the locally-originated budget gives the
+			// hop count the packet actually traveled. Gated on Forwarding
+			// so single-hop scenarios (where the answer is always 1) pay
+			// no per-packet map write; route control frames are excluded
+			// because they originate with a link-local TTL, not
+			// DefaultTTL, and would corrupt the arithmetic.
+			s.rxHops[h.Src] = DefaultTTL - h.TTL + 1
+		}
 		if fn := s.handlers[h.Proto]; fn != nil {
 			fn(payload, h.Src, h.Dst)
 		}

@@ -184,6 +184,74 @@ func TestForwardingDisabledByDefault(t *testing.T) {
 	}
 }
 
+func TestRequireRoutesNoRoute(t *testing.T) {
+	_, a, b := stackPair(t)
+	a.RequireRoutes = true
+	// b is a known neighbor but has no route entry: under RequireRoutes
+	// the route table is the only reachability truth.
+	err := a.Send(ProtoUDP, []byte("x"), b.Addr())
+	if !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+	if a.Dropped != 1 {
+		t.Fatalf("Dropped = %d", a.Dropped)
+	}
+	// Installing the (direct) route makes the same send work.
+	a.AddRoute(b.Addr(), b.Addr())
+	if err := a.Send(ProtoUDP, []byte("x"), b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Removing it brings ErrNoRoute back.
+	a.DelRoute(b.Addr())
+	if err := a.Send(ProtoUDP, []byte("x"), b.Addr()); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err after DelRoute = %v, want ErrNoRoute", err)
+	}
+	// Broadcast needs no route even under RequireRoutes.
+	if err := a.Send(ProtoUDP, []byte("x"), Broadcast); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastNotForwarded(t *testing.T) {
+	// Three stations in range of each other; the middle one forwards.
+	// A link-layer broadcast must be delivered locally everywhere and
+	// never relayed — flooding is the routing protocol's job, not the
+	// network layer's.
+	prof := phy.DefaultProfile()
+	prof.Fading.SigmaDB = 0
+	sched := sim.NewScheduler()
+	src := sim.NewSource(1)
+	med := medium.New(sched, src)
+	mk := func(id uint32, pos phy.Position) *Stack {
+		m := mac.New(sched, src, mac.Config{Address: frame.AddrFromID(id), DataRate: phy.Rate11})
+		radio := med.AddRadio(id, pos, prof, m)
+		m.Attach(radio)
+		s := NewStack(m, HostAddr(byte(id)))
+		s.Forwarding = true
+		return s
+	}
+	a := mk(1, phy.Pos(0, 0))
+	b := mk(2, phy.Pos(14, 0))
+	c := mk(3, phy.Pos(28, 0))
+	deliveries := 0
+	for _, s := range []*Stack{b, c} {
+		s.Handle(ProtoUDP, func(p []byte, _, _ Addr) { deliveries++ })
+	}
+	if err := a.Send(ProtoUDP, []byte("flood?"), Broadcast); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(100 * time.Millisecond)
+	if deliveries != 2 {
+		t.Fatalf("broadcast deliveries = %d, want 2", deliveries)
+	}
+	if b.Forwarded != 0 || c.Forwarded != 0 {
+		t.Fatalf("broadcast was forwarded: b=%d c=%d", b.Forwarded, c.Forwarded)
+	}
+	if b.Sent != 0 || c.Sent != 0 {
+		t.Fatalf("broadcast was re-sent: b=%d c=%d", b.Sent, c.Sent)
+	}
+}
+
 func TestTTLExpiry(t *testing.T) {
 	// Two forwarding stacks pointing routes at each other would loop
 	// packets forever without the TTL check.

@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"adhocsim/internal/app"
+	"adhocsim/internal/mac"
 	"adhocsim/internal/node"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/routing"
 	"adhocsim/internal/stats"
 	"adhocsim/internal/transport"
 )
@@ -31,6 +33,13 @@ type Instance struct {
 	tcpSinks []*app.TCPSink
 	cbrs     []*app.CBR
 	bulks    []*app.Bulk
+
+	// Route control plane (nil/empty without Spec.Routing). routers and
+	// nbrThreshDBm are construction-time state that survives Reset;
+	// graph is recompiled per seed (random topologies re-draw).
+	routers      []*routing.DSDV
+	graph        *routing.Graph
+	nbrThreshDBm []float64
 }
 
 // Build validates the spec and compiles it into a live network with all
@@ -44,6 +53,13 @@ func Build(spec Spec) (*Instance, error) {
 	spec = spec.withDefaults()
 	orig := spec
 	positions, flows, err := spec.check()
+	if err != nil {
+		return nil, err
+	}
+	// graph is nil unless the spec uses static routing on a
+	// deterministic topology; wireRouting installs it (and solves its
+	// own for the random-topology case the validation skips).
+	graph, err := spec.staticReachability(positions, flows)
 	if err != nil {
 		return nil, err
 	}
@@ -79,6 +95,7 @@ func Build(spec Spec) (*Instance, error) {
 	for _, ov := range spec.Stations {
 		overrides[ov.Station] = ov
 	}
+	inst := &Instance{Spec: spec, Net: net, orig: orig, graph: graph}
 	for i, pos := range positions {
 		params := spec.MAC
 		var stProfile *phy.Profile
@@ -107,12 +124,108 @@ func Build(spec Spec) (*Instance, error) {
 			spec.MACHook(i, &cfg)
 		}
 		net.AddStationProfile(pos, cfg, stProfile)
+		if spec.Routing != nil {
+			inst.nbrThreshDBm = append(inst.nbrThreshDBm, neighborThreshold(spec.Routing, cfg, stProfile, net.Profile))
+		}
 	}
 
-	inst := &Instance{Spec: spec, Net: net, orig: orig}
+	if err := inst.wireRouting(positions, false); err != nil {
+		return nil, err
+	}
 	inst.attachWorkload()
 	return inst, nil
 }
+
+// neighborThreshold derives one station's dsdv gray-zone filter: the
+// received power below which an advertisement does not establish its
+// sender as a neighbor. It is the decode sensitivity of the station's
+// unicast data rate plus a fade margin — a neighbor admitted under it
+// can, at median fade, actually carry the data frames that will be
+// routed through it, not just the 1 Mbit/s broadcast that advertised
+// it.
+func neighborThreshold(rp *RoutingParams, cfg mac.Config, stProfile, netProfile *phy.Profile) float64 {
+	p := stProfile
+	if p == nil {
+		p = netProfile
+	}
+	rate := cfg.DataRate
+	if rate == 0 {
+		rate = phy.Rate11
+	}
+	return p.SensitivityDBm[rate.Index()] + rp.NeighborMarginDB
+}
+
+// wireRouting installs the spec's route control plane over the built
+// stations: compiling and installing static routes, or creating
+// (build) / re-seeding (reset) the per-station DSDV instances. Called
+// from Build and Reset between network construction and workload
+// attachment, so control-plane t=0 events schedule in the same order
+// on both paths — part of the Reset determinism contract.
+func (inst *Instance) wireRouting(positions []phy.Position, reset bool) error {
+	rp := inst.Spec.Routing
+	if rp == nil {
+		return nil
+	}
+	if reset {
+		switch rp.Protocol {
+		case routing.ProtocolDSDV:
+			// The routers were created at Build (their stack/MAC
+			// subscriptions are permanent); a new run just re-seeds them.
+			for _, r := range inst.routers {
+				r.Reset()
+			}
+			return nil
+		case routing.ProtocolStatic:
+			// Only random topologies re-draw positions under a new seed;
+			// everywhere else the graph — and the routes already sitting
+			// in the stacks, which survive Stack.Reset — are exactly what
+			// a recompile would produce, so a Reset reuses them.
+			if inst.graph != nil && inst.Spec.Topology.Kind != KindRandomUniform {
+				return nil
+			}
+		}
+	}
+	net := inst.Net
+	nodes := make([]routing.Node, len(net.Stations))
+	for i, st := range net.Stations {
+		nodes[i] = routing.Node{
+			Addr: st.Addr(), HW: st.HWAddr(), Pos: positions[i],
+			Stack: st.Net, MAC: st.MAC,
+		}
+	}
+	switch rp.Protocol {
+	case routing.ProtocolStatic:
+		// Random topologies (exempt from reachability validation, so no
+		// pre-solved graph) and random-topology Resets solve here; the
+		// deterministic case installs the graph validation already built.
+		if inst.graph == nil || (reset && inst.Spec.Topology.Kind == KindRandomUniform) {
+			inst.graph = routing.NewGraph(positions, rp.linkRange(net.Profile, inst.Spec.MAC))
+		}
+		inst.graph.Install(nodes)
+	case routing.ProtocolDSDV:
+		inst.routers = make([]*routing.DSDV, len(nodes))
+		for i := range nodes {
+			inst.routers[i] = routing.New(net.Sched, net.Source, nodes[i], nodes, routing.DSDVConfig{
+				AdvertInterval: rp.AdvertInterval.D(),
+				SettleDelay:    rp.SettleDelay.D(),
+				MinNeighborDBm: inst.nbrThreshDBm[i],
+			})
+		}
+		for _, r := range inst.routers {
+			r.Start()
+		}
+	}
+	return nil
+}
+
+// Routers exposes the per-station DSDV instances (indexed like
+// Net.Stations) for tests and instrumentation; nil unless the spec
+// selected dsdv routing.
+func (inst *Instance) Routers() []*routing.DSDV { return inst.routers }
+
+// Graph exposes the compiled static connectivity graph; nil unless the
+// spec selected static routing.
+func (inst *Instance) Graph() *routing.Graph { return inst.graph }
 
 // attachWorkload wires one run's measurement endpoints and traffic
 // sources into the (fresh or just-Reset) network, in the order that is
@@ -180,6 +293,9 @@ func (inst *Instance) Reset(seed uint64) error {
 	s.Flows = flows
 	inst.Net.Reset(seed, positions)
 	inst.Spec = s
+	if err := inst.wireRouting(positions, true); err != nil {
+		return err
+	}
 	inst.attachWorkload()
 	return nil
 }
@@ -248,9 +364,15 @@ type FlowResult struct {
 	Retries       uint64 `json:"retries"`
 	TxDrops       uint64 `json:"tx_drops"`
 	EIFSDeferrals uint64 `json:"eifs_deferrals"`
+
+	// Hops is the MAC hop count the flow's most recently delivered
+	// packet actually traveled (TTL accounting at the destination): 1
+	// for a direct link, 0 when nothing was delivered end to end.
+	Hops int `json:"hops"`
 }
 
-// StationResult reports one station's MAC counters after the run.
+// StationResult reports one station's MAC and network-layer counters
+// after the run.
 type StationResult struct {
 	Station       int    `json:"station"`
 	FramesSent    uint64 `json:"frames_sent"`
@@ -259,6 +381,21 @@ type StationResult struct {
 	TxDrops       uint64 `json:"tx_drops"`
 	EIFSDeferrals uint64 `json:"eifs_deferrals"`
 	PHYErrors     uint64 `json:"phy_errors"`
+
+	// Network-layer counters (network.Stack): locally originated
+	// packets, locally delivered packets, packets relayed for others,
+	// and packets dropped (no route, TTL expiry, queue-full, decode).
+	// Forwarding drops were invisible to every experiment before these.
+	NetSent      uint64 `json:"net_sent"`
+	NetReceived  uint64 `json:"net_received"`
+	NetForwarded uint64 `json:"net_forwarded"`
+	NetDropped   uint64 `json:"net_dropped"`
+
+	// Control-plane overhead (dsdv): advertisement broadcasts sent and
+	// their network-layer bytes. Zero for static routing, which spends
+	// no airtime.
+	CtlAdverts uint64 `json:"ctl_adverts,omitempty"`
+	CtlBytes   uint64 `json:"ctl_bytes,omitempty"`
 }
 
 // Result is one scenario run's complete outcome.
@@ -266,6 +403,9 @@ type Result struct {
 	Name     string   `json:"name"`
 	Seed     uint64   `json:"seed"`
 	Duration Duration `json:"duration"`
+	// Routing names the route control plane ("static", "dsdv"), empty
+	// for classic single-hop scenarios.
+	Routing string `json:"routing,omitempty"`
 
 	Flows    []FlowResult    `json:"flows"`
 	Stations []StationResult `json:"stations"`
@@ -282,6 +422,9 @@ func (inst *Instance) Collect(horizon time.Duration) Result {
 		Name:     inst.Spec.Name,
 		Seed:     inst.Spec.Seed,
 		Duration: Duration(horizon),
+	}
+	if inst.Spec.Routing != nil {
+		res.Routing = inst.Spec.Routing.Protocol
 	}
 	kbps := make([]float64, 0, len(inst.Spec.Flows))
 	for i, f := range inst.Spec.Flows {
@@ -309,11 +452,19 @@ func (inst *Instance) Collect(horizon time.Duration) Result {
 			fr.GoodputMbps = sink.ThroughputMbps(horizon)
 		}
 		fr.GoodputKbps = stats.Kbps(fr.Bytes, horizon)
+		// The stack only tracks TTL-derived hop counts under a routing
+		// control plane (see network.Stack.HopsFrom); without one every
+		// delivery is by definition direct.
+		if inst.Spec.Routing != nil {
+			fr.Hops = inst.Net.Stations[f.Dst].Net.HopsFrom(src.Addr())
+		} else if fr.Received > 0 {
+			fr.Hops = 1
+		}
 		res.Flows = append(res.Flows, fr)
 		kbps = append(kbps, fr.GoodputKbps)
 	}
 	for i, st := range inst.Net.Stations {
-		res.Stations = append(res.Stations, StationResult{
+		sr := StationResult{
 			Station:       i,
 			FramesSent:    st.Radio.FramesSent,
 			FramesDecoded: st.Radio.FramesDecoded,
@@ -321,7 +472,16 @@ func (inst *Instance) Collect(horizon time.Duration) Result {
 			TxDrops:       st.MAC.Counters.TxDrops,
 			EIFSDeferrals: st.MAC.Counters.EIFSDeferrals,
 			PHYErrors:     st.MAC.Counters.PHYErrors,
-		})
+			NetSent:       st.Net.Sent,
+			NetReceived:   st.Net.Received,
+			NetForwarded:  st.Net.Forwarded,
+			NetDropped:    st.Net.Dropped,
+		}
+		if inst.routers != nil {
+			sr.CtlAdverts = inst.routers[i].Counters.AdvertsSent
+			sr.CtlBytes = inst.routers[i].Counters.ControlBytes
+		}
+		res.Stations = append(res.Stations, sr)
 	}
 	res.Fairness = stats.JainFairness(kbps...)
 	return res

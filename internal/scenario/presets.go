@@ -110,6 +110,56 @@ func presets() []Spec {
 		},
 		random1024(),
 		{
+			Name: "chain-4",
+			Description: "four stations on a 20 m string at 11 Mbit/s, one paced UDP flow relayed end to end " +
+				"(3 hops) over compile-time min-hop routes",
+			Seed:     42,
+			Duration: Duration(10 * time.Second),
+			Topology: Topology{Kind: KindLine, N: 4, Spacing: 20},
+			MAC:      MACParams{RateMbps: 11},
+			Routing:  &RoutingParams{Protocol: "static"},
+			Flows: []Flow{
+				{Src: 0, Dst: 3, Transport: TransportUDP, PacketSize: 512,
+					Interval: Duration(20 * time.Millisecond), Port: 9000},
+			},
+		},
+		{
+			Name: "chain-8",
+			Description: "eight stations on a 20 m string at 11 Mbit/s, one paced UDP flow relayed over 7 hops " +
+				"with DSDV discovering the string on the air",
+			Seed:     42,
+			Duration: Duration(10 * time.Second),
+			Topology: Topology{Kind: KindLine, N: 8, Spacing: 20},
+			MAC:      MACParams{RateMbps: 11},
+			// The +3 dB neighbor margin keeps the marginal 40 m two-hop
+			// shortcuts (which lose ~83% of data epochs) out of the
+			// neighbor set while the 20 m string links stay comfortably in.
+			Routing: &RoutingParams{Protocol: "dsdv", NeighborMarginDB: 3},
+			Flows: []Flow{
+				{Src: 0, Dst: 7, Transport: TransportUDP, PacketSize: 512,
+					Interval: Duration(20 * time.Millisecond), Port: 9000},
+			},
+		},
+		{
+			Name: "mesh-5x5-multihop",
+			Description: "25 stations on a 5×5 grid with 20 m spacing at 11 Mbit/s, two paced corner-to-corner " +
+				"UDP flows crossing the mesh over DSDV routes",
+			Seed:     42,
+			Duration: Duration(10 * time.Second),
+			Topology: Topology{Kind: KindGrid, Rows: 5, Cols: 5, Spacing: 20},
+			MAC:      MACParams{RateMbps: 11},
+			// As in chain-8, the margin keeps the 28 m diagonals — which
+			// lose a third of their data epochs — from displacing the
+			// solid 20 m grid links.
+			Routing: &RoutingParams{Protocol: "dsdv", NeighborMarginDB: 3},
+			Flows: []Flow{
+				{Src: 0, Dst: 24, Transport: TransportUDP, PacketSize: 512,
+					Interval: Duration(40 * time.Millisecond), Port: 9000},
+				{Src: 4, Dst: 20, Transport: TransportUDP, PacketSize: 512,
+					Interval: Duration(40 * time.Millisecond), Port: 9001},
+			},
+		},
+		{
 			Name: "mobile-pair",
 			Description: "a static sink and a random-waypoint walker on a 300×300 m field at 1 Mbit/s paced CBR: " +
 				"the §3.2 mobility consequence — goodput tracks the walker's distance",

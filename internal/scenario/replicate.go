@@ -22,16 +22,34 @@ type FlowSummary struct {
 	Kbps       runner.Summary `json:"kbps"`
 	Retries    runner.Summary `json:"retries"`
 	Gaps       runner.Summary `json:"gaps"`
+	// Hops summarizes the MAC hop count the flow's packets actually
+	// traveled (1 = direct link, 0 = nothing delivered that run).
+	Hops runner.Summary `json:"hops"`
+}
+
+// StationSummary aggregates one station's network-layer activity over
+// replications: relay load, drops, and routing control overhead.
+type StationSummary struct {
+	Station   int            `json:"station"`
+	Forwarded runner.Summary `json:"forwarded"`
+	Dropped   runner.Summary `json:"dropped"`
+	CtlBytes  runner.Summary `json:"ctl_bytes"`
 }
 
 // Summary aggregates a replicated scenario: per-flow goodput/retry/loss
 // summaries plus the fairness index, each as mean ± 95% CI over the
 // replications.
 type Summary struct {
-	Name         string         `json:"name"`
-	Replications int            `json:"replications"`
-	Flows        []FlowSummary  `json:"flows"`
-	Fairness     runner.Summary `json:"fairness"`
+	Name         string `json:"name"`
+	Replications int    `json:"replications"`
+	// Routing names the route control plane, empty for classic
+	// single-hop scenarios.
+	Routing string        `json:"routing,omitempty"`
+	Flows   []FlowSummary `json:"flows"`
+	// Stations aggregates relay load and control overhead; populated
+	// only for routed scenarios, where relaying exists to report on.
+	Stations []StationSummary `json:"stations,omitempty"`
+	Fairness runner.Summary   `json:"fairness"`
 	// Runs holds the per-replication results in replication order.
 	Runs []Result `json:"runs"`
 }
@@ -88,6 +106,7 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 	sum := Summary{
 		Name:         spec.Name,
 		Replications: len(runs),
+		Routing:      runs[0].Routing,
 		Fairness:     runner.SummarizeBy(runs, func(r Result) float64 { return r.Fairness }),
 		Runs:         runs,
 	}
@@ -101,6 +120,7 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 			Kbps:      runner.SummarizeBy(runs, func(r Result) float64 { return r.Flows[i].GoodputKbps }),
 			Retries:   runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Flows[i].Retries) }),
 			Gaps:      runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Flows[i].Gaps) }),
+			Hops:      runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Flows[i].Hops) }),
 		}
 		if len(spec.Flows) > i && spec.Flows[i].NearestDst {
 			// When seed-dependent topology re-draws paired this flow to
@@ -117,6 +137,17 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 			}
 		}
 		sum.Flows = append(sum.Flows, fs)
+	}
+	if sum.Routing != "" {
+		for i := range runs[0].Stations {
+			i := i
+			sum.Stations = append(sum.Stations, StationSummary{
+				Station:   i,
+				Forwarded: runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Stations[i].NetForwarded) }),
+				Dropped:   runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Stations[i].NetDropped) }),
+				CtlBytes:  runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Stations[i].CtlBytes) }),
+			})
+		}
 	}
 	return sum, nil
 }
@@ -148,21 +179,33 @@ func runReused(slot **Instance, spec Spec, seed uint64) Result {
 }
 
 // Render formats a replicated scenario summary as the text table the
-// CLI prints: one row per flow plus the fairness line.
+// CLI prints: one row per flow plus the fairness line, and — for routed
+// scenarios — the per-station relay/overhead table.
 func Render(s Summary) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Scenario %q — %d replication(s)\n", s.Name, s.Replications)
-	fmt.Fprintf(&b, "%-6s %-10s %-12s %-18s %-14s %s\n",
-		"flow", "route", "transport", "goodput [kbit/s]", "retries", "gaps")
+	if s.Routing != "" {
+		fmt.Fprintf(&b, "Scenario %q — %d replication(s), %s routing\n", s.Name, s.Replications, s.Routing)
+	} else {
+		fmt.Fprintf(&b, "Scenario %q — %d replication(s)\n", s.Name, s.Replications)
+	}
+	fmt.Fprintf(&b, "%-6s %-10s %-12s %-18s %-14s %-8s %s\n",
+		"flow", "route", "transport", "goodput [kbit/s]", "retries", "gaps", "hops")
 	for _, f := range s.Flows {
 		route := fmt.Sprintf("%d→%d", f.Src, f.Dst)
 		if f.NearestDst {
 			route = fmt.Sprintf("%d→nearest", f.Src)
 		}
-		fmt.Fprintf(&b, "%-6d %-10s %-12s %8.1f ± %-7.1f %6.1f ± %-5.1f %6.1f\n",
+		fmt.Fprintf(&b, "%-6d %-10s %-12s %8.1f ± %-7.1f %6.1f ± %-5.1f %6.1f %6.1f\n",
 			f.Flow, route, f.Transport,
-			f.Kbps.Mean, f.Kbps.CI95, f.Retries.Mean, f.Retries.CI95, f.Gaps.Mean)
+			f.Kbps.Mean, f.Kbps.CI95, f.Retries.Mean, f.Retries.CI95, f.Gaps.Mean, f.Hops.Mean)
 	}
 	fmt.Fprintf(&b, "Jain fairness: %.3f ± %.3f\n", s.Fairness.Mean, s.Fairness.CI95)
+	if s.Routing != "" {
+		fmt.Fprintf(&b, "%-8s %-16s %-16s %s\n", "station", "forwarded", "dropped", "ctl [bytes]")
+		for _, st := range s.Stations {
+			fmt.Fprintf(&b, "%-8d %8.1f ± %-5.1f %8.1f ± %-5.1f %10.1f\n",
+				st.Station, st.Forwarded.Mean, st.Forwarded.CI95, st.Dropped.Mean, st.Dropped.CI95, st.CtlBytes.Mean)
+		}
+	}
 	return b.String()
 }

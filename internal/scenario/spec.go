@@ -21,6 +21,7 @@ import (
 
 	"adhocsim/internal/mac"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/routing"
 )
 
 // Duration is a time.Duration that marshals to JSON as a human-readable
@@ -184,6 +185,48 @@ func (f Flow) withDefaults() Flow {
 	return f
 }
 
+// RoutingParams configures the scenario's route control plane
+// (internal/routing). Without it the network layer keeps its classic
+// single-hop behaviour: every station transmits straight to the
+// destination's link-layer address and multi-hop flows starve.
+type RoutingParams struct {
+	// Protocol selects the control plane: "static" compiles min-hop
+	// routes from the topology at build time; "dsdv" runs the
+	// destination-sequenced distance-vector protocol over the air.
+	Protocol string `json:"protocol"`
+	// LinkRangeM overrides the static compiler's connectivity radius in
+	// meters. 0 derives it from the network-wide radio profile and data
+	// rate (the rate's median transmission range — the paper's
+	// TX_range). Ignored by dsdv, which discovers links by hearing
+	// advertisements.
+	LinkRangeM float64 `json:"link_range_m,omitempty"`
+	// AdvertInterval is dsdv's periodic advertisement period (default
+	// 1s); SettleDelay bounds its triggered-update delay and broadcast
+	// jitter (default 50ms).
+	AdvertInterval Duration `json:"advert_interval,omitempty"`
+	SettleDelay    Duration `json:"settle_delay,omitempty"`
+	// NeighborMarginDB shifts dsdv's gray-zone filter: advertisements
+	// arriving weaker than the station's data-rate decode sensitivity
+	// plus this margin do not establish the sender as a neighbor
+	// (default 0: the sensitivity itself).
+	NeighborMarginDB float64 `json:"neighbor_margin_db,omitempty"`
+}
+
+// linkRange resolves the static compiler's connectivity radius:
+// LinkRangeM when pinned, else the profile's median transmission range
+// at the network-wide data rate. Validation and the build both use it,
+// so the graph Validate checks is the graph Build installs.
+func (r *RoutingParams) linkRange(p *phy.Profile, mac MACParams) float64 {
+	if r.LinkRangeM > 0 {
+		return r.LinkRangeM
+	}
+	rate := phy.Rate11
+	if rr, err := mac.rate(); err == nil && rr != 0 {
+		rate = rr
+	}
+	return routing.DefaultLinkRange(p, rate)
+}
+
 // Mobility attaches a movement model to some or all stations.
 type Mobility struct {
 	// Model names the mover; "random-waypoint" is the only model today.
@@ -275,6 +318,11 @@ type Spec struct {
 	// the whole horizon, as the paper's sessions do.
 	Flows []Flow `json:"flows"`
 
+	// Routing optionally enables a route control plane, which is what
+	// lets flows span more than one hop. Packet forwarding is switched
+	// on at every station as part of it.
+	Routing *RoutingParams `json:"routing,omitempty"`
+
 	// Mobility optionally moves stations during the run.
 	Mobility *Mobility `json:"mobility,omitempty"`
 
@@ -299,11 +347,16 @@ func (s Spec) withDefaults() Spec {
 }
 
 // Validate checks the spec for structural errors: unknown topology
-// kinds, out-of-range flow endpoints, port clashes, bad rates. Build
-// validates automatically; Validate exists for early feedback when
-// authoring specs.
+// kinds, out-of-range flow endpoints, port clashes, bad rates,
+// statically unroutable flows. Build validates automatically; Validate
+// exists for early feedback when authoring specs.
 func (s Spec) Validate() error {
-	_, _, err := s.withDefaults().check()
+	d := s.withDefaults()
+	positions, flows, err := d.check()
+	if err != nil {
+		return err
+	}
+	_, err = d.staticReachability(positions, flows)
 	return err
 }
 
@@ -376,6 +429,20 @@ func (s Spec) check() ([]phy.Position, []Flow, error) {
 		}
 		sinks[k] = i
 	}
+	if r := s.Routing; r != nil {
+		if r.Protocol != routing.ProtocolStatic && r.Protocol != routing.ProtocolDSDV {
+			return nil, nil, fmt.Errorf("scenario: unknown routing protocol %q (want one of %v)", r.Protocol, routing.Protocols())
+		}
+		if r.Protocol == routing.ProtocolDSDV && n > routing.MaxNetworkSize {
+			return nil, nil, fmt.Errorf("scenario: dsdv supports at most %d stations (a full route dump must fit one MSDU), topology has %d — use static routing", routing.MaxNetworkSize, n)
+		}
+		if r.LinkRangeM < 0 {
+			return nil, nil, fmt.Errorf("scenario: negative routing link range %g m", r.LinkRangeM)
+		}
+		if r.AdvertInterval < 0 || r.SettleDelay < 0 {
+			return nil, nil, fmt.Errorf("scenario: negative routing interval")
+		}
+	}
 	if m := s.Mobility; m != nil {
 		if m.Model != ModelRandomWaypoint {
 			return nil, nil, fmt.Errorf("scenario: unknown mobility model %q", m.Model)
@@ -395,6 +462,40 @@ func (s Spec) check() ([]phy.Position, []Flow, error) {
 		return nil, nil, fmt.Errorf("scenario: non-positive duration %v", s.Duration.D())
 	}
 	return positions, s.Flows, nil
+}
+
+// staticReachability rejects flows the static compiler cannot route,
+// returning the solved graph (nil when static routing does not apply)
+// so that within one Build the validated graph is also the installed
+// one. (A Validate-then-Build sequence still solves twice — the
+// standalone Validate has nowhere to stash the graph; per sweep that
+// is one extra solve per worker, amortized over its replications.) With static routing on a deterministic topology an
+// unreachable flow is a spec bug; catching it at Validate/Build time
+// (not per Reset — the answer is seed-independent, and re-deriving the
+// all-pairs graph per replication would undercut arena reuse) means a
+// sweep fails before it fans out. On a random topology reachability is
+// a property of the seed's draw, so a disconnected flow is legal — it
+// starves (ErrNoRoute, counted as drops) for that replication rather
+// than crashing the sweep.
+func (s Spec) staticReachability(positions []phy.Position, flows []Flow) (*routing.Graph, error) {
+	r := s.Routing
+	if r == nil || r.Protocol != routing.ProtocolStatic || s.Topology.Kind == KindRandomUniform {
+		return nil, nil
+	}
+	p := s.CustomProfile
+	if p == nil {
+		p, _ = profileByName(s.Profile) // error already rejected by check
+	}
+	if p == nil {
+		p = phy.DefaultProfile()
+	}
+	g := routing.NewGraph(positions, r.linkRange(p, s.MAC))
+	for i, f := range flows {
+		if g.Hops(f.Src, f.Dst) < 0 {
+			return nil, fmt.Errorf("scenario: flow %d (%d→%d) is unreachable over the static %v", i, f.Src, f.Dst, g)
+		}
+	}
+	return g, nil
 }
 
 // resolveFlows returns the flow matrix with every NearestDst

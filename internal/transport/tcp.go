@@ -167,7 +167,13 @@ func (t *TCP) Dial(dst network.Addr, port uint16) *Conn {
 	c := t.newConn(connKey{remote: dst, localPort: local, remotePort: port})
 	c.state = stateSynSent
 	c.sndNxt = c.iss + 1 // SYN consumes one sequence number
-	c.sendSYN(false)
+	if err := c.sendSYN(false); err != nil {
+		// No route yet (dynamic routing still converging): poll rather
+		// than waiting out a full RTO for a SYN that never hit the air.
+		c.synLocalFail = true
+		c.rtoEv = c.tcp.sched.Reschedule(c.rtoEv, c.tcp.sched.Now()+synRetryInterval, c.onRTO)
+		return c
+	}
 	c.armRTO()
 	return c
 }
@@ -211,12 +217,19 @@ func (t *TCP) receive(data []byte, src, _ network.Addr) {
 			t.Orphans++
 			return
 		}
-		// Passive open.
+		// Passive open. A locally refused SYN-ACK (full queue, or no
+		// reverse route yet under dynamic routing) retries on the RTO
+		// path, which polls without backoff for local failures.
 		c = t.newConn(key)
 		c.state = stateSynRcvd
 		c.rcvNxt = seg.seq + 1
 		c.sndNxt = c.iss + 1
-		c.sendSYN(true)
+		if err := c.sendSYN(true); err != nil {
+			c.synLocalFail = true
+			c.rtoEv = c.tcp.sched.Reschedule(c.rtoEv, c.tcp.sched.Now()+synRetryInterval, c.onRTO)
+			accept(c)
+			return
+		}
 		c.armRTO()
 		accept(c)
 		return
@@ -252,6 +265,11 @@ type Conn struct {
 	rttSeq   uint32
 	rttStart time.Duration
 	rtoEv    sim.Event
+
+	// synLocalFail records that the most recent SYN attempt failed
+	// locally (no route / full queue) and never reached the air, so the
+	// next successful send must not inherit a Karn backoff.
+	synLocalFail bool
 
 	// Receive side.
 	rcvNxt   uint32
@@ -337,13 +355,20 @@ func (c *Conn) send(seg *segment) error {
 	return nil
 }
 
-func (c *Conn) sendSYN(withACK bool) {
+// synRetryInterval paces handshake retries after a *local* send
+// failure (no route yet under dynamic routing, or a full MAC queue).
+// Such a failure never reached the air, so Karn's exponential backoff —
+// a congestion response — does not apply; the connection just polls
+// until the stack accepts the SYN.
+const synRetryInterval = 100 * time.Millisecond
+
+func (c *Conn) sendSYN(withACK bool) error {
 	seg := &segment{seq: c.iss, flags: flagSYN}
 	if withACK {
 		seg.flags |= flagACK
 		seg.ack = c.rcvNxt
 	}
-	_ = c.send(seg) // handshake retransmission rides on the RTO
+	return c.send(seg) // handshake retransmission rides on the RTO
 }
 
 func (c *Conn) sendFIN() {
@@ -440,10 +465,21 @@ func (c *Conn) armRTO() {
 
 func (c *Conn) onRTO() {
 	switch c.state {
-	case stateSynSent:
-		c.sendSYN(false)
-	case stateSynRcvd:
-		c.sendSYN(true)
+	case stateSynSent, stateSynRcvd:
+		if err := c.sendSYN(c.state == stateSynRcvd); err != nil {
+			// The SYN never left this host; retry soon, without backoff.
+			c.synLocalFail = true
+			c.rtoEv = c.tcp.sched.Reschedule(c.rtoEv, c.tcp.sched.Now()+synRetryInterval, c.onRTO)
+			return
+		}
+		if c.synLocalFail {
+			// First SYN to actually reach the air after a run of local
+			// failures: it has never timed out, so it earns the base
+			// RTO, not a Karn doubling.
+			c.synLocalFail = false
+			c.armRTO()
+			return
+		}
 	case stateEstablished, stateFinSent:
 		if c.sndNxt == c.sndUna {
 			return // nothing outstanding
