@@ -26,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for parallel runs; 0 = all CPUs")
 	progress := flag.Bool("progress", false, "stream run progress to stderr")
 	scen := flag.String("scenario", "", "run a declarative scenario: a spec .json file or a preset name (see -list-scenarios)")
+	parRegions := flag.String("parallel-regions", "", "run -scenario on the space-partitioned parallel kernel: COLSxROWS (e.g. 4x4) or auto; single-replication runs only")
 	listScen := flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
 	rebuild := flag.Bool("rebuild-each-rep", false, "verification: rebuild the network for every scenario replication instead of re-seeding each worker's arena (results are identical, only slower)")
 	routingProto := flag.String("routing", "static", "route control plane for -exp chain: static or dsdv")
@@ -84,8 +86,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "adhocsim: -%s has no effect in -scenario mode\n", f.Name)
 			}
 		})
-		runScenario(*scen, *reps, *workers, *jsonOut, *progress, seedOv, durOv)
+		runScenario(*scen, *reps, *workers, *jsonOut, *progress, seedOv, durOv, *parRegions)
 		return
+	}
+	if *parRegions != "" {
+		fmt.Fprintln(os.Stderr, "adhocsim: -parallel-regions has no effect outside -scenario mode")
 	}
 
 	rep := experiments.Rep{Replications: *reps, Workers: *workers}
@@ -298,9 +303,10 @@ func listScenarios() {
 }
 
 // runScenario resolves ref as a spec file (when it exists or ends in
-// .json) or a preset name, applies any explicit -seed/-dur overrides,
-// runs it with replication, and prints the summary.
-func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *uint64, dur *time.Duration) {
+// .json) or a preset name, applies any explicit -seed/-dur overrides
+// and the -parallel-regions kernel selection, runs it with replication,
+// and prints the summary.
+func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *uint64, dur *time.Duration, parRegions string) {
 	spec, err := loadScenario(ref)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
@@ -311,6 +317,19 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 	}
 	if dur != nil {
 		spec.Duration = scenario.Duration(*dur)
+	}
+	if parRegions != "" {
+		par, err := parseParallelRegions(parRegions, workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+			exit(2)
+		}
+		if reps > 1 {
+			// A sweep parallelizes across seeds instead (see
+			// scenario.Replicate); warn rather than silently downgrade.
+			fmt.Fprintln(os.Stderr, "adhocsim: -parallel-regions is ignored with -replications > 1 (sweeps parallelize across seeds)")
+		}
+		spec.Parallel = par
 	}
 	var prog func(done, total int)
 	if progress {
@@ -329,6 +348,27 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 		return
 	}
 	fmt.Print(scenario.Render(sum))
+}
+
+// parseParallelRegions turns a -parallel-regions value into the spec's
+// parallel block: "auto" lets the builder size the grid from the field
+// extent, "COLSxROWS" forces the shape. The -workers flag doubles as
+// the region-worker count in this mode (results never depend on it).
+func parseParallelRegions(v string, workers int) (*scenario.ParallelParams, error) {
+	par := &scenario.ParallelParams{Workers: workers}
+	if strings.EqualFold(v, "auto") {
+		return par, nil
+	}
+	c, r, ok := strings.Cut(strings.ToLower(v), "x")
+	if ok {
+		cols, errC := strconv.Atoi(c)
+		rows, errR := strconv.Atoi(r)
+		if errC == nil && errR == nil && cols > 0 && rows > 0 {
+			par.Cols, par.Rows = cols, rows
+			return par, nil
+		}
+	}
+	return nil, fmt.Errorf("-parallel-regions %q: want COLSxROWS (e.g. 4x4) or auto", v)
 }
 
 // loadScenario resolves a -scenario argument: an existing regular file

@@ -68,7 +68,9 @@ func (c *CBR) Start() {
 
 func (c *CBR) tickPaced() {
 	c.sendOne()
-	c.net.Sched.After(c.interval, c.tickPaced)
+	// The source's timers live on its own station's scheduler, which in
+	// parallel mode is the station's region scheduler.
+	c.from.Sched.After(c.interval, c.tickPaced)
 }
 
 func (c *CBR) fill() {
@@ -86,7 +88,7 @@ func (c *CBR) fill() {
 			// has not resolved the destination yet), so poll on a timer.
 			if !c.retry && c.from.Net.MAC().QueueLen() == 0 {
 				c.retry = true
-				c.net.Sched.After(retryInterval, func() {
+				c.from.Sched.After(retryInterval, func() {
 					c.retry = false
 					c.fill()
 				})

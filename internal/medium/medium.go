@@ -107,6 +107,12 @@ type Medium struct {
 	freeTx     []*transmission
 	candidates []uint32 // scratch buffer for index queries
 
+	// Parallel partition (nil/empty in sequential mode): the region
+	// executor, and one shard of pools + counters per region. See
+	// partition.go.
+	ex     *sim.Exec
+	shards []medShard
+
 	// Counters (aggregate, for experiments and tests).
 	Transmissions uint64
 	Deliveries    uint64
@@ -353,6 +359,14 @@ type Radio struct {
 	slot  int32
 	gains []linkGain
 
+	// Parallel partition bindings (zero in sequential mode): the radio's
+	// region, that region's scheduler — where every event this radio
+	// originates must land — and its shard. Set by Medium.SetPartition;
+	// a non-nil sched routes Transmit to the partitioned path.
+	reg   int32
+	sched *sim.Scheduler
+	shard *medShard
+
 	// txEnd is the pooled end-of-own-transmission action, scheduled once
 	// per Transmit without allocating.
 	txEnd txEndAction
@@ -401,12 +415,30 @@ type transmission struct {
 	targets []arrivalTarget
 	lead    txLeadAction
 	trail   txTrailAction
+
+	// lo:hi is the slice of targets the local lead/trail pair serves —
+	// the whole set in sequential mode, the transmitter's own region's
+	// segment in partitioned mode (remote segments ride tx.segs).
+	// remaining counts the regions still holding the descriptor; the
+	// last finishOn returns it to the origin shard's pool (accessed
+	// atomically only in partitioned mode — see partition.go).
+	lo, hi    int32
+	remaining int32
+
+	// Partitioned-mode state: the remote-region segments (embedded so a
+	// recirculating descriptor reuses their storage) and the shard whose
+	// pool the descriptor recirculates through — the transmitter's, so
+	// the targets capacity warms up where the fan-out happens.
+	segs   []txSegment
+	origin *medShard
 }
 
 // arrivalTarget is one receiver of an in-flight transmission with its
-// received power in both scales.
+// received power in both scales, and the receiver's region (zero in
+// sequential mode) so the partitioned path can split the set.
 type arrivalTarget struct {
 	rx  *Radio
+	reg int32
 	dbm float64
 	mw  float64
 }
@@ -420,23 +452,24 @@ type txLeadAction struct{ tx *transmission }
 // Act implements sim.Action.
 func (a *txLeadAction) Act() {
 	tx := a.tx
-	for i := range tx.targets {
+	for i := tx.lo; i < tx.hi; i++ {
 		t := &tx.targets[i]
 		t.rx.arrivalStart(tx, t.dbm, t.mw)
 	}
 }
 
-// txTrailAction fires the trailing edge at every receiver, then returns
-// the descriptor to the pool.
+// txTrailAction fires the trailing edge at every local receiver, then
+// drops the local region's hold on the descriptor (sequential mode
+// holds exactly one, so this is the release).
 type txTrailAction struct{ tx *transmission }
 
 // Act implements sim.Action.
 func (a *txTrailAction) Act() {
 	tx := a.tx
-	for i := range tx.targets {
+	for i := tx.lo; i < tx.hi; i++ {
 		tx.targets[i].rx.arrivalEnd(tx)
 	}
-	tx.from.m.releaseTransmission(tx)
+	tx.finishOn(tx.from.shard)
 }
 
 // arrivalEntry is one in-flight transmission's received power at one
@@ -469,16 +502,15 @@ func (m *Medium) newTransmission(from *Radio, f *frame.Frame, rate phy.Rate, end
 	} else {
 		tx = new(transmission)
 	}
-	targets := tx.targets[:0]
-	*tx = transmission{from: from, f: f, rate: rate, end: end, targets: targets}
+	*tx = transmission{from: from, f: f, rate: rate, end: end,
+		targets: tx.targets[:0], segs: tx.segs[:0]}
 	tx.lead.tx = tx
 	tx.trail.tx = tx
 	return tx
 }
 
 func (m *Medium) releaseTransmission(tx *transmission) {
-	targets := tx.targets[:0]
-	*tx = transmission{targets: targets}
+	*tx = transmission{targets: tx.targets[:0], segs: tx.segs[:0]}
 	m.freeTx = append(m.freeTx, tx)
 }
 
@@ -488,6 +520,9 @@ func (m *Medium) releaseTransmission(tx *transmission) {
 func (m *Medium) AddRadio(id uint32, pos phy.Position, profile *phy.Profile, h Handler) *Radio {
 	if _, dup := m.byID[id]; dup {
 		panic(fmt.Sprintf("medium: duplicate radio id %d", id))
+	}
+	if m.shards != nil {
+		panic("medium: AddRadio after SetPartition")
 	}
 	r := &Radio{
 		id:            id,
@@ -566,6 +601,9 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 		panic(fmt.Sprintf("medium: invalid rate %d", rate))
 	}
 	m := r.m
+	if r.sched != nil {
+		return m.partTransmit(r, f, rate)
+	}
 	now := m.sched.Now()
 	air := f.AirTime(rate)
 	m.Transmissions++
@@ -603,6 +641,8 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 		// bookkeeping.
 		m.releaseTransmission(tx)
 	} else {
+		tx.lo, tx.hi = 0, int32(len(tx.targets))
+		tx.remaining = 1
 		m.sched.AtAction(now+phy.PropDelay, &tx.lead)
 		m.sched.AtAction(now+air+phy.PropDelay, &tx.trail)
 	}
@@ -630,7 +670,7 @@ func (m *Medium) propagate(tx *transmission, from, rx *Radio, now time.Duration)
 	} else {
 		mw = phy.DBmToMilliwatt(p)
 	}
-	tx.targets = append(tx.targets, arrivalTarget{rx: rx, dbm: p, mw: mw})
+	tx.targets = append(tx.targets, arrivalTarget{rx: rx, reg: rx.reg, dbm: p, mw: mw})
 }
 
 // DebugArrival, when set, observes every arrival edge (test hook).
@@ -735,10 +775,18 @@ func (r *Radio) arrivalEnd(tx *transmission) {
 		ok := r.verdict(tx)
 		if ok {
 			r.FramesDecoded++
-			r.m.Deliveries++
+			if r.shard != nil {
+				r.shard.deliveries++
+			} else {
+				r.m.Deliveries++
+			}
 		} else {
 			r.FramesErrored++
-			r.m.PHYErrors++
+			if r.shard != nil {
+				r.shard.phyErrors++
+			} else {
+				r.m.PHYErrors++
+			}
 		}
 		power := r.lockedPower
 		r.maxInterfMW = 0

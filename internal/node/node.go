@@ -24,6 +24,12 @@ type Station struct {
 	Net   *network.Stack
 	UDP   *transport.UDP
 	TCP   *transport.TCP
+
+	// Sched is the scheduler owning this station's events: the network's
+	// global scheduler normally, the station's region scheduler when the
+	// network runs in parallel mode. Timers and traffic sources acting on
+	// behalf of this station must schedule here and nowhere else.
+	Sched *sim.Scheduler
 }
 
 // Addr returns the station's network address inside 10.0.0.0/8
@@ -42,6 +48,15 @@ type Network struct {
 	Profile  *phy.Profile
 	MSS      int
 	Stations []*Station
+
+	// Exec and Grid are set by WithParallel: the region executor and the
+	// field partition of the space-partitioned parallel mode. When Exec
+	// is non-nil every station binds to its region's scheduler at add
+	// time and Run drives the executor instead of Sched.
+	Exec *sim.Exec
+	Grid phy.RegionGrid
+
+	partitioned bool // Medium.SetPartition installed (first Run)
 }
 
 // Option configures a Network.
@@ -53,6 +68,31 @@ func WithProfile(p *phy.Profile) Option { return func(n *Network) { n.Profile = 
 // WithMSS sets the TCP maximum segment size (the paper uses 512-byte
 // application packets).
 func WithMSS(mss int) Option { return func(n *Network) { n.MSS = mss } }
+
+// WithParallel switches the network to the space-partitioned parallel
+// execution mode: the field is partitioned by grid, every station's
+// events run on its region's scheduler, and Run drives a conservative
+// region executor with the given worker count. sequential selects the
+// executor's single-goroutine reference path (sim.Exec.SetSequential) —
+// same protocol, one goroutine — for equivalence testing.
+//
+// reach is the field's relevance radius (medium.FieldReach over every
+// profile in play): the farthest one transmission can influence
+// anything, which prices the lookahead between each pair of regions.
+// It must be finite — a degenerate radio model has no relevance radius
+// and must stay on the sequential kernel. Mobility and Reset are not
+// supported in parallel mode.
+func WithParallel(grid phy.RegionGrid, reach float64, workers int, sequential bool) Option {
+	return func(n *Network) {
+		ex := sim.NewExec(grid.Regions(), func(a, b int) time.Duration {
+			return phy.MinPropagationDelay(grid.MinRegionDist(a, b), reach)
+		})
+		ex.SetWorkers(workers)
+		ex.SetSequential(sequential)
+		n.Exec = ex
+		n.Grid = grid
+	}
+}
 
 // NewNetwork creates an empty network seeded for reproducibility.
 func NewNetwork(seed uint64, opts ...Option) *Network {
@@ -89,13 +129,17 @@ func (n *Network) AddStationProfile(pos phy.Position, cfg mac.Config, profile *p
 		panic(fmt.Sprintf("node: too many stations (%d)", id))
 	}
 	cfg.Address = frame.AddrFromID(id)
-	m := mac.New(n.Sched, n.Source, cfg)
-	st := &Station{ID: id, MAC: m}
+	sched := n.Sched
+	if n.Exec != nil {
+		sched = n.Exec.Sched(n.Grid.RegionOf(pos))
+	}
+	m := mac.New(sched, n.Source, cfg)
+	st := &Station{ID: id, MAC: m, Sched: sched}
 	st.Radio = n.Medium.AddRadio(id, pos, profile, m)
 	m.Attach(st.Radio)
 	st.Net = network.NewStack(m, network.StationAddr(id))
 	st.UDP = transport.NewUDP(st.Net)
-	st.TCP = transport.NewTCP(n.Sched, n.Source, st.Net, n.MSS)
+	st.TCP = transport.NewTCP(sched, n.Source, st.Net, n.MSS)
 	// The transports' queue-space subscriptions are permanent wiring;
 	// anything registered later (per-run traffic sources) is truncated
 	// by Network.Reset.
@@ -111,7 +155,25 @@ func (n *Network) AddStationProfile(pos phy.Position, cfg mac.Config, profile *p
 
 // Run advances the simulation by d.
 func (n *Network) Run(d time.Duration) {
+	if n.Exec != nil {
+		if !n.partitioned {
+			n.Medium.SetPartition(n.Exec, n.Grid)
+			n.partitioned = true
+		}
+		n.Exec.Run(n.Exec.Now() + d)
+		n.Medium.FoldCounters()
+		return
+	}
 	n.Sched.RunUntil(n.Sched.Now() + d)
+}
+
+// Fired returns the number of events executed so far, across all region
+// schedulers in parallel mode.
+func (n *Network) Fired() uint64 {
+	if n.Exec != nil {
+		return n.Exec.Fired()
+	}
+	return n.Sched.Fired()
 }
 
 // Reset re-seeds a built network for a fresh run without rebuilding it:
@@ -130,6 +192,12 @@ func (n *Network) Run(d time.Duration) {
 // bit-identical to a build-then-run at the same seed (the scenario
 // package's reuse tests pin this).
 func (n *Network) Reset(seed uint64, positions []phy.Position) {
+	if n.Exec != nil {
+		// Region schedulers have no arena-reuse path yet, and replication
+		// sweeps already parallelize across seeds (internal/runner) — the
+		// scenario layer strips parallel specs before replicating.
+		panic("node: Reset is not supported in parallel mode; rebuild the network instead")
+	}
 	if len(positions) != len(n.Stations) {
 		panic(fmt.Sprintf("node: Reset with %d positions for %d stations", len(positions), len(n.Stations)))
 	}
@@ -146,4 +214,9 @@ func (n *Network) Reset(seed uint64, positions []phy.Position) {
 }
 
 // Now returns the current simulated time.
-func (n *Network) Now() time.Duration { return n.Sched.Now() }
+func (n *Network) Now() time.Duration {
+	if n.Exec != nil {
+		return n.Exec.Now()
+	}
+	return n.Sched.Now()
+}

@@ -1,0 +1,178 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file derives the conservative-lookahead geometry for the
+// space-partitioned parallel event kernel (sim.Exec). DESIGN.md carries
+// the prose version of the derivation:
+//
+//  1. Regions interact only through the medium: the single way one
+//     region's state can influence another's is a transmission, and
+//     every transmission's indications (CCA edges, arrivals) reach any
+//     receiver no earlier than PropDelay after it starts — the model's
+//     one-way propagation bound. So ANY cross-region influence is
+//     delayed by at least PropDelay, whatever the geometry: a uniform
+//     one-bound lookahead between all region pairs is unconditionally
+//     sound.
+//  2. Distance buys more. The medium never propagates a transmission
+//     beyond the field's relevance radius `reach` (Profile.ReachRange
+//     against the lowest noise floor minus medium.IrrelevantMarginDB —
+//     past it, no shadowing draw can shift any CCA, preamble-lock, or
+//     SINR decision). Influence covering a distance D therefore needs a
+//     chain of at least ceil(D/reach) transmissions — each hop of the
+//     chain moves at most `reach` meters — and each chain link costs at
+//     least PropDelay, even if every intermediate station reacts
+//     instantly (a CCA edge can trigger a same-instant transmit
+//     decision, so no larger per-link bound is sound).
+//
+// Hence a region may safely execute every event strictly earlier than
+//
+//	min over other regions R of (clock(R) + delay(R, self))
+//	delay(R, S) = max(1, ceil(minDist(R, S)/reach)) · PropDelay
+//
+// where minDist is the minimum separation of the two regions'
+// rectangles. This is exactly the horizon sim.Exec computes from the
+// published region clocks, via MinPropagationDelay. On fields smaller
+// than `reach` — the calibrated 802.11b model's worst-case relevance
+// radius spans kilometers — every pair degenerates to the uniform
+// one-PropDelay lookahead of step 1, which the event sparsity of the
+// workloads (frame exchanges are tens of microseconds apart, PropDelay
+// is one) still turns into usable parallelism.
+
+// RegionGrid partitions an axis-aligned bounding box of the field into
+// Cols×Rows rectangular regions for the parallel event kernel. Regions
+// are numbered row-major: region = row·Cols + col. Any grid is sound
+// (see the derivation above); its shape only moves the
+// performance trade-off between load balance and cross-region traffic.
+type RegionGrid struct {
+	MinX, MinY   float64
+	CellW, CellH float64
+	Cols, Rows   int
+}
+
+// Regions returns the number of regions in the grid.
+func (g RegionGrid) Regions() int { return g.Cols * g.Rows }
+
+// RegionOf maps a position to its region index. Positions outside the
+// fitted bounding box clamp to the border regions, so a position
+// slightly off the field never indexes out of range.
+func (g RegionGrid) RegionOf(p Position) int {
+	col := 0
+	if g.CellW > 0 {
+		col = int(math.Floor((p.X - g.MinX) / g.CellW))
+	}
+	row := 0
+	if g.CellH > 0 {
+		row = int(math.Floor((p.Y - g.MinY) / g.CellH))
+	}
+	if col < 0 {
+		col = 0
+	}
+	if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	return row*g.Cols + col
+}
+
+// HopDist returns the Chebyshev distance between two regions: how many
+// region boundaries separate them.
+func (g RegionGrid) HopDist(a, b int) int {
+	ax, ay := a%g.Cols, a/g.Cols
+	bx, by := b%g.Cols, b/g.Cols
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// MinRegionDist returns the minimum separation in meters between the
+// two regions' rectangles (zero for the same or adjacent regions).
+func (g RegionGrid) MinRegionDist(a, b int) float64 {
+	ax, ay := a%g.Cols, a/g.Cols
+	bx, by := b%g.Cols, b/g.Cols
+	dx := math.Abs(float64(ax-bx)) - 1
+	dy := math.Abs(float64(ay-by)) - 1
+	if dx < 0 {
+		dx = 0
+	}
+	if dy < 0 {
+		dy = 0
+	}
+	return math.Hypot(dx*g.CellW, dy*g.CellH)
+}
+
+// MinEdge returns the smaller region edge length in meters.
+func (g RegionGrid) MinEdge() float64 {
+	if g.CellW < g.CellH {
+		return g.CellW
+	}
+	return g.CellH
+}
+
+// String renders the grid compactly for diagnostics.
+func (g RegionGrid) String() string {
+	return fmt.Sprintf("%dx%d regions of %.0fx%.0f m", g.Cols, g.Rows, g.CellW, g.CellH)
+}
+
+// MinPropagationDelay returns the minimum simulated time any influence
+// needs to cover distM meters when a single transmission carries it at
+// most reachM meters: one one-way propagation bound per chain link
+// (step 2 of the derivation above), never less than one bound total
+// (step 1). It is the per-region-pair lookahead of the conservative
+// window protocol; a non-positive or non-finite reach degrades to the
+// unconditional single bound.
+func MinPropagationDelay(distM, reachM float64) time.Duration {
+	links := 1.0
+	if distM > 0 && reachM > 0 && !math.IsInf(reachM, 1) {
+		links = math.Ceil(distM / reachM)
+		if links < 1 {
+			links = 1
+		}
+	}
+	return time.Duration(links) * PropDelay
+}
+
+// FitRegionGrid lays a cols×rows region grid over the bounding box of
+// positions (values below 1 clamp to 1). Degenerate spans are fine: a
+// dimension of zero extent puts everything in its first region row or
+// column.
+func FitRegionGrid(positions []Position, cols, rows int) RegionGrid {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range positions {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if len(positions) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 0, 0
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	g := RegionGrid{MinX: minX, MinY: minY, Cols: cols, Rows: rows}
+	g.CellW = (maxX - minX) / float64(cols)
+	g.CellH = (maxY - minY) / float64(rows)
+	return g
+}

@@ -1,0 +1,121 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRegionOfClamping(t *testing.T) {
+	g := RegionGrid{MinX: 0, MinY: 0, CellW: 100, CellH: 100, Cols: 3, Rows: 2}
+	for _, tc := range []struct {
+		pos  Position
+		want int
+	}{
+		{Position{X: 50, Y: 50}, 0},
+		{Position{X: 150, Y: 50}, 1},
+		{Position{X: 250, Y: 150}, 5},
+		// Off-field positions clamp to border regions, never index out.
+		{Position{X: -40, Y: 50}, 0},
+		{Position{X: 1e6, Y: 1e6}, 5},
+		{Position{X: 150, Y: -3}, 1},
+		// The far edge itself belongs to the last region.
+		{Position{X: 300, Y: 200}, 5},
+	} {
+		if got := g.RegionOf(tc.pos); got != tc.want {
+			t.Errorf("RegionOf(%+v) = %d, want %d", tc.pos, got, tc.want)
+		}
+	}
+}
+
+func TestRegionOfDegenerateCells(t *testing.T) {
+	// A zero-extent dimension (all stations on one line) must map
+	// everything into the first row without dividing by zero.
+	g := RegionGrid{MinX: 0, MinY: 5, CellW: 10, CellH: 0, Cols: 2, Rows: 1}
+	if got := g.RegionOf(Position{X: 15, Y: 5}); got != 1 {
+		t.Errorf("RegionOf on zero-height grid = %d, want 1", got)
+	}
+}
+
+func TestMinRegionDist(t *testing.T) {
+	g := RegionGrid{CellW: 100, CellH: 50, Cols: 4, Rows: 3}
+	for _, tc := range []struct {
+		a, b int
+		want float64
+	}{
+		{0, 0, 0},
+		{0, 1, 0}, // adjacent: rectangles touch
+		{0, 5, 0}, // diagonal neighbors touch at the corner
+		{0, 2, 100},
+		{0, 3, 200},
+		{0, 8, 50},                   // two rows down: one full cell height apart
+		{0, 10, math.Hypot(100, 50)}, // (2,2): one cell gap each way
+	} {
+		if got := g.MinRegionDist(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("MinRegionDist(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if sym := g.MinRegionDist(tc.b, tc.a); sym != g.MinRegionDist(tc.a, tc.b) {
+			t.Errorf("MinRegionDist(%d,%d) not symmetric", tc.a, tc.b)
+		}
+	}
+}
+
+func TestHopDist(t *testing.T) {
+	g := RegionGrid{Cols: 4, Rows: 3}
+	for _, tc := range []struct {
+		a, b, want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 5, 1}, {0, 11, 3}, {4, 7, 3},
+	} {
+		if got := g.HopDist(tc.a, tc.b); got != tc.want {
+			t.Errorf("HopDist(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMinPropagationDelay(t *testing.T) {
+	for _, tc := range []struct {
+		dist, reach float64
+		want        time.Duration
+	}{
+		// Step 1 of the derivation: one bound, whatever the geometry.
+		{0, 500, PropDelay},
+		{100, 500, PropDelay},
+		{500, 500, PropDelay},
+		// Step 2: distance buys whole extra links.
+		{501, 500, 2 * PropDelay},
+		{1500, 500, 3 * PropDelay},
+		// Degenerate radio models degrade to the unconditional bound.
+		{1000, 0, PropDelay},
+		{1000, -1, PropDelay},
+		{1000, math.Inf(1), PropDelay},
+		{-5, 500, PropDelay},
+	} {
+		if got := MinPropagationDelay(tc.dist, tc.reach); got != tc.want {
+			t.Errorf("MinPropagationDelay(%v, %v) = %v, want %v", tc.dist, tc.reach, got, tc.want)
+		}
+	}
+}
+
+func TestFitRegionGrid(t *testing.T) {
+	pos := []Position{{X: 10, Y: 20}, {X: 110, Y: 70}, {X: 60, Y: 45}}
+	g := FitRegionGrid(pos, 2, 2)
+	if g.MinX != 10 || g.MinY != 20 || g.CellW != 50 || g.CellH != 25 {
+		t.Errorf("fitted grid = %+v", g)
+	}
+	// Every input position must land inside the grid.
+	for _, p := range pos {
+		r := g.RegionOf(p)
+		if r < 0 || r >= g.Regions() {
+			t.Errorf("RegionOf(%+v) = %d out of range", p, r)
+		}
+	}
+	// Shape clamps below one region per dimension.
+	if g := FitRegionGrid(pos, 0, -2); g.Cols != 1 || g.Rows != 1 {
+		t.Errorf("clamped grid = %dx%d, want 1x1", g.Cols, g.Rows)
+	}
+	// No positions: a zero-size single cell at the origin.
+	if g := FitRegionGrid(nil, 3, 3); g.Regions() != 9 || g.CellW != 0 || g.RegionOf(Position{}) != 0 {
+		t.Errorf("empty fit = %+v", g)
+	}
+}

@@ -1,0 +1,72 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestWorkersBoundaries pins Config.workers() at the edges: zero and
+// negative counts select one worker per available CPU, positive counts
+// are taken literally (Map itself clamps to the job count).
+func TestWorkersBoundaries(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		workers int
+		want    int
+	}{
+		{workers: 0, want: procs},
+		{workers: -1, want: procs},
+		{workers: -100, want: procs},
+		{workers: 1, want: 1},
+		{workers: 7, want: 7},
+	} {
+		if got := (Config{Workers: tc.workers}).workers(); got != tc.want {
+			t.Errorf("Config{Workers: %d}.workers() = %d, want %d", tc.workers, got, tc.want)
+		}
+	}
+}
+
+// TestMapMoreWorkersThanJobs runs a fan-out whose worker count far
+// exceeds the job count: the pool must clamp to one goroutine per job,
+// complete every job exactly once, and keep results in job order.
+func TestMapMoreWorkersThanJobs(t *testing.T) {
+	const jobs = 3
+	var mu sync.Mutex
+	calls := make(map[int]int)
+	got := Map(Config{Workers: 64}, jobs, func(i int) int {
+		mu.Lock()
+		calls[i]++
+		mu.Unlock()
+		return i * i
+	})
+	if len(got) != jobs {
+		t.Fatalf("got %d results, want %d", len(got), jobs)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("result[%d] = %d, want %d", i, v, i*i)
+		}
+		if calls[i] != 1 {
+			t.Errorf("job %d ran %d times, want exactly once", i, calls[i])
+		}
+	}
+}
+
+// TestMapNonPositiveWorkers pins the Workers<=0 path end to end: the
+// GOMAXPROCS default must produce exactly the same results as an
+// explicit single worker, including the n==0 and n==1 degenerate jobs.
+func TestMapNonPositiveWorkers(t *testing.T) {
+	for _, n := range []int{0, 1, 5} {
+		want := Map(Config{Workers: 1}, n, func(i int) int { return 3*i + 1 })
+		got := Map(Config{Workers: 0}, n, func(i int) int { return 3*i + 1 })
+		if len(want) != n || len(got) != n {
+			t.Fatalf("n=%d: lengths %d / %d", n, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("n=%d: result[%d] = %d (default workers) vs %d (one worker)", n, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkRandom1024Sequential is the end-to-end baseline the parallel
+// kernel is measured against: the random-1024 preset built and run on
+// the classic single-scheduler path, full scenario cost (build + run +
+// collect). The ns/event metric divides wall time by the events the
+// kernel executed, so it is comparable with the parallel bench below
+// only after accounting for the executor's extra per-region message
+// events (the parallel run executes ~1.8× the events for the same
+// logical work; BENCH_PR6.json at the root records both sides).
+func BenchmarkRandom1024Sequential(b *testing.B) {
+	benchmarkRandom1024(b, nil)
+}
+
+// BenchmarkRandom1024ParallelRegions is the PR 6 headline bench: the
+// same preset on the space-partitioned executor with an auto-fitted
+// region grid (4×4 at this field size) and one worker per CPU. On a
+// multi-core host the regions run concurrently under the conservative
+// lookahead window; on one CPU the bench degrades gracefully to
+// near-sequential cost and measures pure protocol overhead (windows,
+// inter-region messaging, barriers).
+func BenchmarkRandom1024ParallelRegions(b *testing.B) {
+	benchmarkRandom1024(b, &ParallelParams{Workers: runtime.GOMAXPROCS(0)})
+}
+
+func benchmarkRandom1024(b *testing.B, par *ParallelParams) {
+	spec, err := Preset("random-1024")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Parallel = par
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		inst, err := Build(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		horizon := inst.Spec.Duration.D()
+		inst.Net.Run(horizon)
+		inst.Collect(horizon)
+		fired = inst.Net.Fired()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(fired), "ns/event")
+	b.ReportMetric(float64(fired), "events/run")
+}

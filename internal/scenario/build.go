@@ -2,16 +2,24 @@ package scenario
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"time"
 
 	"adhocsim/internal/app"
 	"adhocsim/internal/mac"
+	"adhocsim/internal/medium"
 	"adhocsim/internal/node"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/routing"
 	"adhocsim/internal/stats"
 	"adhocsim/internal/transport"
 )
+
+// defaultMaxRegions caps an auto-sized parallel region grid at 4 per
+// dimension (16 regions); larger grids buy little once regions
+// outnumber cores, and each extra region adds cross-boundary traffic.
+const defaultMaxRegions = 4
 
 // Instance is a compiled scenario: a live network plus the workload
 // endpoints, ready to run. Callers that need more than Run's metrics —
@@ -89,6 +97,61 @@ func Build(spec Spec) (*Instance, error) {
 	if netProfile != nil {
 		opts = append(opts, node.WithProfile(netProfile))
 	}
+	if p := spec.Parallel; p != nil && spec.Mobility == nil {
+		// Size the region grid for the field. Explicit Cols/Rows are used
+		// exactly as requested (any grid is sound — the lookahead adapts;
+		// see internal/phy/lookahead.go). Auto-sized dimensions target load
+		// balance instead: regions no smaller than the carrier-sense range
+		// (below it stations mostly contend with neighbors in other
+		// regions and the partition buys nothing), capped per dimension.
+		// Small fields thus fit a single region, which runs the identical
+		// window protocol on one scheduler. Mobility specs skip the block
+		// entirely (the sequential fallback): a moving station would
+		// change regions. A degenerate radio model (infinite relevance
+		// radius) also falls back — the lookahead has no distance bound.
+		profiles := []*phy.Profile{netProfile}
+		if netProfile == nil {
+			profiles[0] = phy.DefaultProfile()
+		}
+		for _, ov := range spec.Stations {
+			if ov.Profile == "" {
+				continue
+			}
+			sp, err := profileByName(ov.Profile)
+			if err != nil {
+				return nil, err
+			}
+			if sp == nil {
+				sp = phy.DefaultProfile()
+			}
+			profiles = append(profiles, sp)
+		}
+		reach := medium.FieldReach(profiles)
+		if !math.IsInf(reach, 1) {
+			cols, rows := p.Cols, p.Rows
+			if cols == 0 || rows == 0 {
+				minEdge := 0.0
+				for _, pr := range profiles {
+					if d := pr.CarrierSenseRange(); d > minEdge {
+						minEdge = d
+					}
+				}
+				spanX, spanY := fieldSpans(positions)
+				if cols == 0 {
+					cols = autoRegions(spanX, minEdge)
+				}
+				if rows == 0 {
+					rows = autoRegions(spanY, minEdge)
+				}
+			}
+			grid := phy.FitRegionGrid(positions, cols, rows)
+			workers := p.Workers
+			if workers == 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			opts = append(opts, node.WithParallel(grid, reach, workers, p.Sequential))
+		}
+	}
 	net := node.NewNetwork(spec.Seed, opts...)
 
 	overrides := make(map[int]StationOverride, len(spec.Stations))
@@ -134,6 +197,38 @@ func Build(spec Spec) (*Instance, error) {
 	}
 	inst.attachWorkload()
 	return inst, nil
+}
+
+// fieldSpans returns the bounding-box extents of the station field.
+func fieldSpans(positions []phy.Position) (spanX, spanY float64) {
+	if len(positions) == 0 {
+		return 0, 0
+	}
+	minX, maxX := positions[0].X, positions[0].X
+	minY, maxY := positions[0].Y, positions[0].Y
+	for _, p := range positions[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return maxX - minX, maxY - minY
+}
+
+// autoRegions sizes one auto-fitted grid dimension: as many regions as
+// carrier-sense ranges fit in the span, at least one, at most the cap.
+func autoRegions(span, minEdge float64) int {
+	if !(minEdge > 0) || !(span > 0) {
+		return 1
+	}
+	n := int(math.Floor(span / minEdge))
+	if n < 1 {
+		n = 1
+	}
+	if n > defaultMaxRegions {
+		n = defaultMaxRegions
+	}
+	return n
 }
 
 // neighborThreshold derives one station's dsdv gray-zone filter: the
@@ -205,7 +300,9 @@ func (inst *Instance) wireRouting(positions []phy.Position, reset bool) error {
 	case routing.ProtocolDSDV:
 		inst.routers = make([]*routing.DSDV, len(nodes))
 		for i := range nodes {
-			inst.routers[i] = routing.New(net.Sched, net.Source, nodes[i], nodes, routing.DSDVConfig{
+			// Each router's timers belong to its own station's scheduler
+			// (the region scheduler in parallel mode).
+			inst.routers[i] = routing.New(net.Stations[i].Sched, net.Source, nodes[i], nodes, routing.DSDVConfig{
 				AdvertInterval: rp.AdvertInterval.D(),
 				SettleDelay:    rp.SettleDelay.D(),
 				MinNeighborDBm: inst.nbrThreshDBm[i],

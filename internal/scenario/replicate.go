@@ -81,11 +81,25 @@ func SetRebuildEachRep(on bool) { rebuildEachRep = on }
 // the shared hook state would also make concurrent replications a data
 // race.
 func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Summary, error) {
+	// A sweep already parallelizes across seeds, and the arena-reuse
+	// path depends on node.Network.Reset, which the parallel kernel does
+	// not support — so multi-replication sweeps always run the
+	// sequential kernel. One seed, one core; many seeds, many cores; the
+	// parallel kernel is for the one-seed case (cmd/adhocsim
+	// -parallel-regions, Run), so a single-replication summary keeps the
+	// spec's parallel block and runs it through the full-build path.
+	par := spec.Parallel
+	spec.Parallel = nil
 	if err := spec.Validate(); err != nil {
 		return Summary{}, err
 	}
 	if reps < 1 {
 		reps = 1
+	}
+	if reps == 1 && par != nil {
+		s := spec
+		s.Parallel = par
+		return summarize(spec, []Result{MustRun(s)}), nil
 	}
 	if spec.MACHook != nil {
 		workers = 1
@@ -103,6 +117,12 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 			return runReused(inst, spec, seed)
 		})
 	}
+	return summarize(spec, runs), nil
+}
+
+// summarize aggregates per-flow and per-station metrics over the runs
+// of one replicated scenario.
+func summarize(spec Spec, runs []Result) Summary {
 	sum := Summary{
 		Name:         spec.Name,
 		Replications: len(runs),
@@ -149,7 +169,7 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 			})
 		}
 	}
-	return sum, nil
+	return sum
 }
 
 // runReused executes one replication on a worker's arena: the first

@@ -227,6 +227,34 @@ func (r *RoutingParams) linkRange(p *phy.Profile, mac MACParams) float64 {
 	return routing.DefaultLinkRange(p, rate)
 }
 
+// ParallelParams opts a scenario into the space-partitioned parallel
+// event kernel (sim.Exec): the field is split into a grid of regions,
+// each region's events run on its own scheduler, and regions advance
+// concurrently under a conservative propagation-delay lookahead.
+//
+// Any grid shape is sound — the lookahead between two regions scales
+// with their separation (see internal/phy/lookahead.go) — so explicit
+// Cols/Rows are honored exactly. Auto-sized dimensions (0) instead
+// target load balance: one region per carrier-sense range the field
+// spans, capped at 4 per dimension, so a small field ends up as a
+// single region and runs exactly like the sequential kernel. Mobility
+// scenarios ignore the block entirely and fall back to the sequential
+// kernel (regions would have to re-home moving stations), as do
+// degenerate radio models with no finite relevance radius.
+type ParallelParams struct {
+	// Cols and Rows request the region grid; 0 auto-sizes that
+	// dimension from the field extent (capped at 4).
+	Cols int `json:"cols,omitempty"`
+	Rows int `json:"rows,omitempty"`
+	// Workers is the goroutine count driving the regions; 0 means one
+	// per CPU (clamped to the region count). Results never depend on it.
+	Workers int `json:"workers,omitempty"`
+	// Sequential selects the executor's single-goroutine reference path
+	// (sim.Exec.SetSequential) — the parallel analog of the medium's
+	// SetBruteForce/SetGainCache escape hatches, for equivalence tests.
+	Sequential bool `json:"sequential,omitempty"`
+}
+
 // Mobility attaches a movement model to some or all stations.
 type Mobility struct {
 	// Model names the mover; "random-waypoint" is the only model today.
@@ -325,6 +353,11 @@ type Spec struct {
 
 	// Mobility optionally moves stations during the run.
 	Mobility *Mobility `json:"mobility,omitempty"`
+
+	// Parallel opts the run into the space-partitioned parallel kernel.
+	// Ignored (sequential fallback) when Mobility is set, and stripped
+	// by Replicate (sweeps parallelize across seeds instead).
+	Parallel *ParallelParams `json:"parallel,omitempty"`
 
 	// MACHook, when non-nil, is applied to every station's compiled
 	// mac.Config after overrides (station is the 0-based index). It is
@@ -456,6 +489,14 @@ func (s Spec) check() ([]phy.Position, []Flow, error) {
 				return nil, nil, fmt.Errorf("scenario: mobility station %d listed twice", st)
 			}
 			seen[st] = true
+		}
+	}
+	if p := s.Parallel; p != nil {
+		if p.Cols < 0 || p.Rows < 0 {
+			return nil, nil, fmt.Errorf("scenario: negative parallel region grid %dx%d", p.Cols, p.Rows)
+		}
+		if p.Workers < 0 {
+			return nil, nil, fmt.Errorf("scenario: negative parallel worker count %d", p.Workers)
 		}
 	}
 	if s.Duration <= 0 {

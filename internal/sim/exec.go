@@ -1,0 +1,473 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exec runs a set of region schedulers in parallel under a conservative
+// bounded time window — the space-partitioned parallel mode of the
+// event kernel. Each region owns one Scheduler (all events of the
+// stations inside it); cross-region influence travels as timestamped
+// messages (Send → Scheduler.InjectAt).
+//
+// # Protocol
+//
+// Execution proceeds in windows separated by barriers. Each window:
+//
+//  1. Prep (parallel over regions): drain the region's inbox, inject
+//     every received message into its scheduler in canonical
+//     (at, sentAt, source, send-sequence) order, and publish the
+//     region's next pending event time L.
+//
+//  2. Barrier — the published L values now form a consistent snapshot.
+//
+//  3. Execute (parallel over regions): each region runs events strictly
+//     earlier than its horizon
+//
+//     min over every other region R of (L(R) + md(R, self))
+//
+//     where md is the all-pairs shortest-path closure of the
+//     caller-supplied pairwise minimum influence delays
+//     (phy.MinPropagationDelay over the regions' separation, for the
+//     medium's partition), with md(R, R) the shortest delay cycle
+//     through R. The region's own reflected influence is bounded
+//     dynamically instead: each message it sends to region k with
+//     timestamp a caps its window at a + md(k, self), since anything
+//     the region does to itself must route through a send it actually
+//     made. Until it sends, it owes nothing to itself and may burn
+//     through its serial event stream — the difference between a
+//     window advancing one event cluster and a window advancing a
+//     whole inter-transmission stretch. Messages generated here are
+//     appended to the destination inboxes for the next window's prep.
+//
+//  4. Barrier, and back to 1. The run ends when the global minimum of
+//     the L values passes the run horizon.
+//
+// Safety: mid-window causation is purely local (messages wait for the
+// next prep), so every event executed anywhere descends from an event
+// that was pending in its own region at the snapshot. A message
+// arriving at region i therefore closes an influence chain rooted
+// either at some other region j's pending event at time ≥ L(j) — and
+// every link of the chain costs at least its pairwise delay, so the
+// message's timestamp is at least L(j) + md(j, i) ≥ horizon(i) — or at
+// region i itself, in which case the chain's first cross-region hop is
+// a message i actually sent, say to region k with timestamp a, and the
+// return path costs at least md(k, i): the dynamic cap a + md(k, i)
+// bounds exactly that. The dynamic cap is sound wherever the static
+// self term L(i) + md(i, i) was (a ≥ L(i) + md(i, k), so the cap never
+// drops below it) while being dramatically wider between sends — the
+// static term capped every busy region at one closure-cycle (~2 µs)
+// per window, which made windows one event cluster wide.
+//
+// The snapshot-at-a-barrier structure matters as much as the closure:
+// horizons derived from asynchronously-published clocks can tear
+// (region A's clock read before a message lowered it, region B's read
+// after it advanced past the send), which lets a region run ahead of
+// mail already addressed to it.
+//
+// # Determinism
+//
+// The executed event sequence of every region — and therefore every
+// simulation result — is a pure function of the initial events and the
+// message timestamps, independent of worker count and wall-clock
+// interleaving: the window boundaries depend only on the L snapshot,
+// which is itself deterministic, and each prep sorts its batch into the
+// canonical order before injection, erasing arrival interleaving. The
+// equivalence suite in internal/scenario pins this worker-count
+// invariance bit-for-bit.
+//
+// # Termination
+//
+// Run(until) executes everything at or before until (matching
+// Scheduler.RunUntil semantics, including events at exactly until) and
+// leaves every region clock at exactly until. Messages timestamped
+// after until are dropped at Send — the sequential run would never have
+// executed them either.
+type Exec struct {
+	regions []*execRegion
+	// md[from*len(regions)+to] is the minimum simulated time for
+	// influence to travel between the two regions along ANY chain of
+	// cross-region hops — the shortest-path closure of the pairwise
+	// delays, in nanoseconds. Diagonal entries hold the shortest cycle
+	// back to the region (the reflected-influence bound).
+	md         []int64
+	workers    int
+	sequential bool
+	until      time.Duration
+	windowsRun uint64
+}
+
+// execRegion is one region's execution state.
+type execRegion struct {
+	sched *Scheduler
+
+	// next is the region's published next-pending-event time in
+	// nanoseconds (math.MaxInt64 = nothing pending), written by the
+	// owning worker during prep and read by every worker after the
+	// window barrier — the barrier's happens-before edge makes the
+	// plain field safe.
+	next int64
+
+	// mu guards inbox against concurrent senders during the execute
+	// phase. The owner drains it in prep without the lock: the window
+	// barrier orders every sender's append before the drain.
+	mu    sync.Mutex
+	inbox []regionMsg
+
+	// Owner-only state (the goroutine currently servicing the region).
+	staged []regionMsg
+	sends  uint64
+	// dirty marks that the region executed events last window, so its
+	// published next time must be recomputed; clean regions with empty
+	// inboxes skip prep entirely.
+	dirty bool
+	// cap is the region's dynamic reflected-influence bound for the
+	// window being executed: min over its own sends of the message
+	// timestamp plus the closure delay back from the destination.
+	cap int64
+}
+
+// regionMsg is one cross-region message: run act at time at; the
+// sending event executed at sentAt in region src as its srcSeq-th send.
+type regionMsg struct {
+	at     time.Duration
+	sentAt time.Duration
+	src    int32
+	srcSeq uint64
+	act    Action
+}
+
+// NewExec creates a parallel executor over n fresh region schedulers.
+// delay(a, b) must return the minimum simulated time for influence to
+// travel from region a to region b; it is captured into a matrix once.
+func NewExec(n int, delay func(a, b int) time.Duration) *Exec {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: exec needs at least one region, got %d", n))
+	}
+	e := &Exec{
+		regions: make([]*execRegion, n),
+		md:      make([]int64, n*n),
+		workers: 1,
+	}
+	for i := range e.regions {
+		e.regions[i] = &execRegion{sched: NewScheduler(), next: infClock}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				e.md[a*n+b] = infClock
+				continue
+			}
+			d := delay(a, b)
+			if d <= 0 {
+				panic(fmt.Sprintf("sim: non-positive lookahead %v between regions %d and %d", d, a, b))
+			}
+			e.md[a*n+b] = int64(d)
+		}
+	}
+	// Floyd–Warshall closure: chains through intermediate regions can
+	// undercut a direct delay, and the diagonal picks up the shortest
+	// return cycle — with one region there is none, and the lone
+	// diagonal entry stays infinite (nothing to reflect off).
+	for k := 0; k < n; k++ {
+		for a := 0; a < n; a++ {
+			ak := e.md[a*n+k]
+			if ak == infClock {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				kb := e.md[k*n+b]
+				if kb == infClock {
+					continue
+				}
+				if v := ak + kb; v < e.md[a*n+b] {
+					e.md[a*n+b] = v
+				}
+			}
+		}
+	}
+	return e
+}
+
+// Regions returns the region count.
+func (e *Exec) Regions() int { return len(e.regions) }
+
+// Sched returns region i's scheduler. Everything owned by region i
+// (its stations' MAC timers, radio edges, application ticks) must be
+// scheduled here and nowhere else.
+func (e *Exec) Sched(i int) *Scheduler { return e.regions[i].sched }
+
+// Now returns the common simulated time. Region clocks only diverge
+// inside Run; between runs they all sit at the last horizon.
+func (e *Exec) Now() time.Duration { return e.regions[0].sched.Now() }
+
+// Windows returns the number of barrier windows executed across all
+// Runs so far — the executor's main overhead metric (each window costs
+// two barrier crossings plus a prep sweep).
+func (e *Exec) Windows() uint64 { return e.windowsRun }
+
+// Fired returns the total number of events executed across all regions.
+func (e *Exec) Fired() uint64 {
+	var n uint64
+	for _, r := range e.regions {
+		n += r.sched.Fired()
+	}
+	return n
+}
+
+// SetWorkers sets the goroutine count for subsequent Runs. Values below
+// 1 or above the region count are clamped. The result of a Run does not
+// depend on the worker count — that invariance is the mode's central
+// test surface.
+func (e *Exec) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(e.regions) {
+		n = len(e.regions)
+	}
+	e.workers = n
+}
+
+// SetSequential forces (true) or releases (false) the single-goroutine
+// reference path: Run services all regions from the calling goroutine
+// under the identical window protocol. It is the parallel kernel's
+// verification escape hatch, the analog of medium.SetBruteForce and
+// medium.SetGainCache — equivalence tests run the same seed both ways
+// and require byte-identical results. Production callers never need it.
+func (e *Exec) SetSequential(on bool) { e.sequential = on }
+
+// Send delivers act to region to at absolute simulated time at. It must
+// be called from an event executing on region from's scheduler (the
+// send time is read from that scheduler's clock). Messages timestamped
+// after the current Run's horizon are dropped: the run will never reach
+// them. Safe for concurrent use by distinct sending regions.
+func (e *Exec) Send(from, to int, at time.Duration, act Action) {
+	src := e.regions[from]
+	seq := src.sends
+	src.sends++
+	// Reflections of this message can land back home no earlier than
+	// its own timestamp plus the closure delay from the destination.
+	if back := e.md[to*len(e.regions)+from]; back != infClock && int64(at)+back < src.cap {
+		src.cap = int64(at) + back
+	}
+	if at > e.until {
+		return
+	}
+	sentAt := src.sched.Now()
+	dst := e.regions[to]
+	dst.mu.Lock()
+	dst.inbox = append(dst.inbox, regionMsg{at: at, sentAt: sentAt, src: int32(from), srcSeq: seq, act: act})
+	dst.mu.Unlock()
+}
+
+// Run executes every region's events through simulated time until
+// (inclusive, matching Scheduler.RunUntil) and leaves every region
+// clock at exactly until.
+func (e *Exec) Run(until time.Duration) {
+	if until < e.Now() {
+		panic(fmt.Sprintf("sim: exec Run(%v) before now %v", until, e.Now()))
+	}
+	e.until = until
+	// Events may have been scheduled directly on region schedulers since
+	// the last Run; force a full first prep so every published next time
+	// is fresh.
+	for _, r := range e.regions {
+		r.dirty = true
+	}
+	workers := e.workers
+	if e.sequential || len(e.regions) == 1 {
+		workers = 1
+	}
+	if workers <= 1 {
+		e.windows(0, 1, nil)
+	} else {
+		bar := newBarrier(workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				e.windows(w, workers, bar)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, r := range e.regions {
+		r.sched.RunUntil(until)
+	}
+}
+
+const infClock = int64(math.MaxInt64)
+
+// windows is one worker's run loop: it services regions w, w+stride,
+// w+2·stride, … through the window protocol until the global minimum
+// pending time passes the horizon. All workers compute the same global
+// minimum from the same snapshot, so they exit the same window
+// together; bar is nil on the single-worker path, where the barriers
+// are trivially unnecessary.
+func (e *Exec) windows(w, stride int, bar *barrier) {
+	n := len(e.regions)
+	until := int64(e.until)
+	for {
+		if w == 0 {
+			e.windowsRun++
+		}
+		for i := w; i < n; i += stride {
+			e.prep(e.regions[i])
+		}
+		if bar != nil {
+			bar.wait()
+		}
+		g := infClock
+		for _, r := range e.regions {
+			if r.next < g {
+				g = r.next
+			}
+		}
+		if g > until {
+			return
+		}
+		for i := w; i < n; i += stride {
+			r := e.regions[i]
+			horizon := infClock
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue // self-influence is the dynamic cap's job
+				}
+				l := e.regions[j].next
+				d := e.md[j*n+i]
+				if d == infClock || l > infClock-d {
+					continue // effectively infinite
+				}
+				if v := l + d; v < horizon {
+					horizon = v
+				}
+			}
+			if r.next >= horizon {
+				continue // nothing runnable; not even worth a peek
+			}
+			r.cap = infClock
+			for {
+				t, ok := r.sched.PeekAt()
+				// r.cap shrinks as the events executed here send, so it
+				// is re-read every iteration.
+				if !ok || int64(t) >= horizon || int64(t) >= r.cap || int64(t) > until {
+					break
+				}
+				r.sched.Step()
+				r.dirty = true
+			}
+		}
+		if bar != nil {
+			bar.wait()
+		}
+	}
+}
+
+// prep readies a region for the next window: drain the inbox, inject
+// the batch in canonical order, publish the next pending time. The sort
+// erases the wall-clock interleaving of concurrent senders — the
+// injected order (and the heap insertion order breaking exact
+// (at, sentAt) ties) is a pure function of the message set.
+func (e *Exec) prep(r *execRegion) {
+	// Reading inbox without the lock is safe here: senders only append
+	// during the execute phase, and the window barrier orders all of
+	// those appends before this prep. A clean region with no mail has
+	// nothing to do — its published next time is still exact.
+	if !r.dirty && len(r.inbox) == 0 {
+		return
+	}
+	r.dirty = false
+	if len(r.inbox) > 0 {
+		r.staged = append(r.staged[:0], r.inbox...)
+		r.inbox = r.inbox[:0]
+	}
+	if len(r.staged) > 0 {
+		sort.Slice(r.staged, func(a, b int) bool {
+			x, y := &r.staged[a], &r.staged[b]
+			if x.at != y.at {
+				return x.at < y.at
+			}
+			if x.sentAt != y.sentAt {
+				return x.sentAt < y.sentAt
+			}
+			if x.src != y.src {
+				return x.src < y.src
+			}
+			return x.srcSeq < y.srcSeq
+		})
+		for i := range r.staged {
+			m := &r.staged[i]
+			r.sched.InjectAt(m.at, m.sentAt, m.act)
+			m.act = nil
+		}
+		r.staged = r.staged[:0]
+	}
+	r.next = infClock
+	if t, ok := r.sched.PeekAt(); ok {
+		r.next = int64(t)
+	}
+}
+
+// barrier is a reusable sense-reversing barrier for the window loop:
+// the last arriving worker flips the generation; the others spin
+// briefly (windows are microseconds apart), yield the processor a few
+// times, and then park on the condvar. The spin budget is zero when the
+// machine has fewer processors than workers — spinning there steals
+// the very core the straggler needs, turning each window into a full
+// scheduler quantum. The atomic generation flip is the happens-before
+// edge that publishes each worker's plain writes (region next fields,
+// scheduler state, inbox drains) to every other worker.
+type barrier struct {
+	n     int32
+	spin  int
+	count atomic.Int32
+	gen   atomic.Uint32
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: int32(n)}
+	if runtime.GOMAXPROCS(0) >= n {
+		b.spin = 4096
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	gen := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.mu.Lock()
+		b.gen.Add(1)
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for spins := 0; spins < b.spin; spins++ {
+		if b.gen.Load() != gen {
+			return
+		}
+	}
+	for yields := 0; yields < 4; yields++ {
+		runtime.Gosched()
+		if b.gen.Load() != gen {
+			return
+		}
+	}
+	b.mu.Lock()
+	for b.gen.Load() == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -66,13 +66,27 @@ type slot struct {
 	act     Action
 }
 
-// heapEntry is one heap element. The ordering keys (at, seq) live
+// heapEntry is one heap element. The ordering keys (at, sub, seq) live
 // inline in the heap rather than in the slot arena: every sift
 // comparison then reads adjacent heap memory instead of dereferencing
 // two random slots, which is most of what a comparison used to cost on
 // large queues.
+//
+// sub is the schedule-time subkey that makes event order reproducible
+// across the parallel region kernel: the simulated instant the event
+// was scheduled at, left-shifted one bit, with bit 0 set for events
+// injected as inter-region messages (InjectAt). For a single-scheduler
+// run sub is redundant — the clock is monotone, so within one instant
+// ascending seq already implies ascending sub and the (at, sub, seq)
+// order coincides exactly with the historical (at, seq) order. For a
+// region scheduler it is load-bearing: a message injected late (its
+// region's horizon only just reached it) still sorts against local
+// events by when it was *sent*, not by when the window protocol got
+// around to injecting it, so the executed event order is independent of
+// worker count and window timing.
 type heapEntry struct {
 	at  time.Duration
+	sub uint64
 	seq uint64
 	idx int32
 }
@@ -157,10 +171,56 @@ func (s *Scheduler) schedule(t time.Duration, fn func(), act Action) Event {
 	sl.fn = fn
 	sl.act = act
 	sl.heapIdx = int32(len(s.heap))
-	s.heap = append(s.heap, heapEntry{at: t, seq: s.seq, idx: idx})
+	s.heap = append(s.heap, heapEntry{at: t, sub: uint64(s.now) << 1, seq: s.seq, idx: idx})
 	s.seq++
 	s.siftUp(int(sl.heapIdx))
 	return Event{s: s, idx: idx, gen: sl.gen, at: t}
+}
+
+// InjectAt schedules a.Act() at absolute time t on behalf of an event
+// that executed at sentAt on another region's scheduler. It is the
+// inter-region message entry point of the parallel kernel (sim.Exec):
+// the injected event carries sentAt — not this scheduler's current
+// clock — as its ordering subkey, with the message bit set, so its
+// position among same-instant events is a pure function of simulated
+// time rather than of when the conservative window let the message in.
+// Messages tie-break after local events of the same (instant, sentAt),
+// and the caller (Exec) injects concurrent messages in a canonical
+// order, which together make region runs worker-count-invariant.
+func (s *Scheduler) InjectAt(t, sentAt time.Duration, a Action) {
+	if a == nil {
+		panic("sim: nil action")
+	}
+	if t < s.now {
+		// A message from the past means the conservative lookahead was
+		// violated — corrupt, not recoverable.
+		panic(fmt.Sprintf("sim: injecting message at %v before now %v", t, s.now))
+	}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, slot{})
+		idx = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[idx]
+	sl.fn = nil
+	sl.act = a
+	sl.heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, heapEntry{at: t, sub: uint64(sentAt)<<1 | 1, seq: s.seq, idx: idx})
+	s.seq++
+	s.siftUp(int(sl.heapIdx))
+}
+
+// PeekAt returns the timestamp of the earliest pending event, or false
+// when the queue is empty. The parallel kernel publishes it as the
+// region's conservative clock.
+func (s *Scheduler) PeekAt() (time.Duration, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
 }
 
 // Cancel removes a pending event from the queue. Cancelling a zero,
@@ -292,10 +352,15 @@ func (s *Scheduler) Reset() {
 	s.fired = 0
 }
 
-// less orders heap entries by (time, sequence): FIFO within one instant.
+// less orders heap entries by (time, schedule subkey, sequence): FIFO
+// within one instant for a single-scheduler run (where sub is monotone
+// in seq and therefore inert), send-time order across region kernels.
 func less(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.sub != b.sub {
+		return a.sub < b.sub
 	}
 	return a.seq < b.seq
 }
