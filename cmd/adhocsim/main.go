@@ -14,6 +14,7 @@
 //	adhocsim -list-scenarios            # the built-in scenario library
 //	adhocsim -scenario hidden-terminal  # run a preset by name
 //	adhocsim -scenario spec.json -replications 8 -json
+//	adhocsim -scenario random-16k -scheduler calendar -progress
 //
 // Replications fan out across -workers goroutines (default: all CPUs)
 // through the internal/runner harness; results are bit-identical for
@@ -36,6 +37,7 @@ import (
 	"adhocsim/internal/routing"
 	"adhocsim/internal/runner"
 	"adhocsim/internal/scenario"
+	"adhocsim/internal/sim"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for parallel runs; 0 = all CPUs")
 	progress := flag.Bool("progress", false, "stream run progress to stderr")
 	scen := flag.String("scenario", "", "run a declarative scenario: a spec .json file or a preset name (see -list-scenarios)")
+	sched := flag.String("scheduler", "", "event-queue backend for -scenario runs: heap or calendar (default: the spec's \"scheduler\" block, else heap)")
 	parRegions := flag.String("parallel-regions", "", "run -scenario on the space-partitioned parallel kernel: COLSxROWS (e.g. 4x4) or auto; single-replication runs only")
 	listScen := flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
 	rebuild := flag.Bool("rebuild-each-rep", false, "verification: rebuild the network for every scenario replication instead of re-seeding each worker's arena (results are identical, only slower)")
@@ -86,11 +89,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "adhocsim: -%s has no effect in -scenario mode\n", f.Name)
 			}
 		})
-		runScenario(*scen, *reps, *workers, *jsonOut, *progress, seedOv, durOv, *parRegions)
+		runScenario(*scen, *reps, *workers, *jsonOut, *progress, seedOv, durOv, *parRegions, *sched)
 		return
 	}
 	if *parRegions != "" {
 		fmt.Fprintln(os.Stderr, "adhocsim: -parallel-regions has no effect outside -scenario mode")
+	}
+	if *sched != "" {
+		fmt.Fprintln(os.Stderr, "adhocsim: -scheduler has no effect outside -scenario mode")
 	}
 
 	rep := experiments.Rep{Replications: *reps, Workers: *workers}
@@ -300,13 +306,14 @@ func listScenarios() {
 	fmt.Printf("\nTopology kinds for JSON specs: %s\n", strings.Join(scenario.TopologyKinds(), ", "))
 	fmt.Printf("Radio profiles: %s\n", strings.Join(scenario.ProfileNames(), ", "))
 	fmt.Printf("Routing protocols (\"routing\" spec block): %s\n", strings.Join(routing.Protocols(), ", "))
+	fmt.Printf("Event-queue backends (\"scheduler\" spec block, -scheduler): %s, %s\n", sim.KindHeap, sim.KindCalendar)
 }
 
 // runScenario resolves ref as a spec file (when it exists or ends in
-// .json) or a preset name, applies any explicit -seed/-dur overrides
-// and the -parallel-regions kernel selection, runs it with replication,
-// and prints the summary.
-func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *uint64, dur *time.Duration, parRegions string) {
+// .json) or a preset name, applies any explicit -seed/-dur/-scheduler
+// overrides and the -parallel-regions kernel selection, runs it with
+// replication, and prints the summary.
+func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *uint64, dur *time.Duration, parRegions, sched string) {
 	spec, err := loadScenario(ref)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
@@ -317,6 +324,9 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 	}
 	if dur != nil {
 		spec.Duration = scenario.Duration(*dur)
+	}
+	if sched != "" {
+		spec.Scheduler = sched
 	}
 	if parRegions != "" {
 		par, err := parseParallelRegions(parRegions, workers)
@@ -331,14 +341,35 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 		}
 		spec.Parallel = par
 	}
-	var prog func(done, total int)
-	if progress {
-		prog = runner.ProgressWriter(os.Stderr, "runs")
-	}
-	sum, err := scenario.Replicate(spec, reps, workers, prog)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-		exit(1)
+	var sum scenario.Summary
+	if progress && reps <= 1 {
+		// A single run has no per-replication completions to count, so
+		// -progress meters the run itself: simulated time against the
+		// horizon, plus events fired — the meter a city-scale run needs.
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+			exit(2)
+		}
+		res, err := scenario.RunProgress(spec, func(now, horizon time.Duration, fired uint64) {
+			fmt.Fprintf(os.Stderr, "\rsim %v / %v  (%d events)", now.Truncate(time.Millisecond), horizon, fired)
+			if now >= horizon {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+			exit(1)
+		}
+		sum = scenario.SummarizeRuns(spec, []scenario.Result{res})
+	} else {
+		var prog func(done, total int)
+		if progress {
+			prog = runner.ProgressWriter(os.Stderr, "runs")
+		}
+		if sum, err = scenario.Replicate(spec, reps, workers, prog); err != nil {
+			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+			exit(1)
+		}
 	}
 	if jsonOut {
 		if err := runner.WriteJSON(os.Stdout, sum); err != nil {

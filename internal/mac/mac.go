@@ -181,10 +181,11 @@ type msdu struct {
 // MAC is one station's DCF instance. Create with New, attach to a medium
 // with Attach, then exchange MSDUs via Send and the Deliver callback.
 type MAC struct {
-	cfg   Config
-	sched *sim.Scheduler
-	radio *medium.Radio
-	rng   *rand.Rand
+	cfg    Config
+	sched  *sim.Scheduler
+	radio  *medium.Radio
+	rng    *rand.Rand
+	rngKey sim.StreamKey // pre-hashed stream name, for allocation-free Reset
 
 	// Upper-layer hooks.
 	deliver    func(payload []byte, src frame.Addr)
@@ -235,10 +236,12 @@ var _ medium.Handler = (*MAC)(nil)
 // New creates a MAC. Call Attach before use.
 func New(sched *sim.Scheduler, src *sim.Source, cfg Config) *MAC {
 	cfg = cfg.withDefaults()
+	key := sim.KeyFor("mac.backoff." + cfg.Address.String())
 	m := &MAC{
 		cfg:     cfg,
 		sched:   sched,
-		rng:     src.Stream("mac.backoff." + cfg.Address.String()),
+		rng:     src.StreamFor(key),
+		rngKey:  key,
 		cw:      phy.CWMin,
 		backoff: -1,
 		rxSeq:   make(map[frame.Addr]uint16),
@@ -280,7 +283,7 @@ func (m *MAC) Reset(src *sim.Source) {
 	if m.radio == nil {
 		panic("mac: Reset before Attach")
 	}
-	m.rng = src.Stream("mac.backoff." + m.cfg.Address.String())
+	src.ReseedStream(m.rng, m.rngKey)
 	clear(m.queue)
 	m.queue = m.queue[:0]
 	m.current = nil

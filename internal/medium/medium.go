@@ -39,6 +39,7 @@
 package medium
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -86,6 +87,31 @@ type Medium struct {
 	radios []*Radio
 	byID   map[uint32]*Radio
 
+	// Struct-of-arrays mirrors of the per-radio state the transmit inner
+	// loop reads per candidate, indexed by radio slot: id, position, the
+	// mobility epoch keying the link-gain cache, and the precomputed
+	// irrelevance power cut. Packing them densely keeps the per-candidate
+	// work inside a few sequential cache lines instead of chasing a map
+	// probe plus a Radio pointer per candidate; the *Radio itself is
+	// touched only when the candidate survives the power cut. The arrays
+	// are mirrors — Radio.pos stays authoritative for the public API —
+	// kept in sync by AddRadio, SetPos and Reset.
+	soaID    []uint32
+	soaPos   []phy.Position
+	soaMove  []uint64
+	soaIrrel []float64
+
+	// gainRows is the link-gain cache: one row per transmitter slot,
+	// indexed by receiver slot, rows allocated lazily on first
+	// transmission (see linkGain).
+	gainRows [][]linkGain
+
+	// idsMonotone records whether radio ids ascend in slot order — true
+	// for node-built networks, which assign ids sequentially. It lets
+	// sortCandidates order slots directly instead of through the id
+	// array.
+	idsMonotone bool
+
 	// index is the spatial neighbor grid; nil while dirty, after
 	// SetBruteForce(true), or when a degenerate radio model admits no
 	// finite relevance radius (Transmit then falls back to exhaustive
@@ -95,17 +121,32 @@ type Medium struct {
 	indexDirty bool
 	bruteForce bool
 
+	// posEpoch stamps the station geometry. It advances on every radio
+	// insertion, move, arena reset, and reference-path toggle, and
+	// validates the per-transmitter candidate memos (Radio.cand): while
+	// the geometry stands still, a repeat transmitter's index walk and
+	// dispatch-order sort collapse to a slice reuse.
+	posEpoch uint64
+
+	// gainSeed is the sim.Source root seed the link-gain cache contents
+	// were drawn under; Reset invalidates the cache only when the seed
+	// it finds on the source differs.
+	gainSeed uint64
+
 	// gainCacheOff forces the direct per-arrival PHY computation, the
-	// pre-cache reference path (SetGainCache). The link-gain cache
-	// itself lives on each transmitting radio (Radio.gains), indexed by
-	// the receiver's dense slot, so a hot-path lookup is an array index
-	// rather than a map probe.
+	// pre-cache reference path (SetGainCache). The cache itself is
+	// gainRows above, indexed by transmitter then receiver slot, so a
+	// hot-path lookup is an array index rather than a map probe.
 	gainCacheOff bool
+
+	// incrementalOff forces the receivers' interference/CCA energy sums
+	// back to the per-edge recomputation loops, the reference path
+	// (SetIncremental).
+	incrementalOff bool
 
 	// Pools: reused across transmissions so the steady-state event flow
 	// allocates nothing.
-	freeTx     []*transmission
-	candidates []uint32 // scratch buffer for index queries
+	freeTx []*transmission
 
 	// Parallel partition (nil/empty in sequential mode): the region
 	// executor, and one shard of pools + counters per region. See
@@ -123,10 +164,12 @@ type Medium struct {
 // from src.
 func New(sched *sim.Scheduler, src *sim.Source) *Medium {
 	return &Medium{
-		sched:      sched,
-		src:        src,
-		byID:       make(map[uint32]*Radio),
-		indexDirty: true,
+		sched:       sched,
+		src:         src,
+		gainSeed:    src.Seed(),
+		byID:        make(map[uint32]*Radio),
+		indexDirty:  true,
+		idsMonotone: true,
 	}
 }
 
@@ -142,6 +185,7 @@ func (m *Medium) Now() time.Duration { return m.sched.Now() }
 func (m *Medium) SetBruteForce(on bool) {
 	m.bruteForce = on
 	m.indexDirty = true
+	m.posEpoch++
 }
 
 // SetGainCache re-enables (true) or disables (false) the pairwise
@@ -156,29 +200,58 @@ func (m *Medium) SetGainCache(on bool) {
 	m.invalidateGains()
 }
 
-// invalidateGains marks every link-gain entry stale without releasing
-// the allocated per-transmitter slices.
-func (m *Medium) invalidateGains() {
+// SetIncremental re-enables (true) or disables (false) the maintained
+// per-receiver energy sums, forcing the interference floor, the
+// lock-time interference record and CCA back to their per-edge
+// recomputation loops — the pre-incremental reference behaviour. The
+// maintained sums are constructed to be bit-identical to those loops
+// (see arrivalStart), and the equivalence tests run the same seed both
+// ways to keep that claim honest. Production callers never need it.
+func (m *Medium) SetIncremental(on bool) {
+	m.incrementalOff = !on
 	for _, r := range m.radios {
-		for i := range r.gains {
-			r.gains[i].have = 0
+		r.recomputeSums()
+	}
+}
+
+// invalidateGains marks every link-gain entry stale without releasing
+// the allocated per-transmitter rows.
+func (m *Medium) invalidateGains() {
+	for _, row := range m.gainRows {
+		for i := range row {
+			row[i].have = 0
 		}
 	}
 }
 
 // Reset returns the medium to its just-built state so a replication
 // sweep can re-seed a constructed network instead of rebuilding it:
-// aggregate counters clear, the spatial index is marked for rebuild,
-// and every link-gain cache entry is invalidated (its shadowing draws
-// depend on the run seed, which the owning sim.Source is about to
-// change). The arrival/transmission pools and the cache's allocated
-// entries are deliberately retained — reusing them is the point of the
-// arena. Radio placement and per-radio state are the caller's next
-// step, via Radio.Reset.
+// aggregate counters clear. Everything derived from the run seed or the
+// geometry is invalidated exactly when its input actually changes, so a
+// same-seed same-placement replication — the benchmark loop, a
+// variance-reduction sweep — re-runs on every cached structure intact:
+//
+//   - The link-gain cache is invalidated (and the fan-out memos
+//     staled via posEpoch) only if the owning sim.Source's root seed
+//     changed since the entries were drawn — the node layer reseeds
+//     the source before calling here, and the shadowing draws are pure
+//     functions of (seed, link).
+//   - The spatial index and the candidate memos are NOT touched here:
+//     Radio.Reset dirties them if (and only if) its radio lands on a
+//     new position, and AddRadio/SetBruteForce cover the radio-set and
+//     reference-path changes.
+//
+// The arrival/transmission pools and the cache's allocated entries are
+// deliberately retained — reusing them is the point of the arena. Radio
+// placement and per-radio state are the caller's next step, via
+// Radio.Reset.
 func (m *Medium) Reset() {
 	m.Transmissions, m.Deliveries, m.PHYErrors = 0, 0, 0
-	m.indexDirty = true
-	m.invalidateGains()
+	if seed := m.src.Seed(); seed != m.gainSeed {
+		m.gainSeed = seed
+		m.invalidateGains()
+		m.posEpoch++
+	}
 }
 
 // Link-gain cache -------------------------------------------------------
@@ -226,27 +299,33 @@ func (g *linkGain) milliwatt(dbm float64) float64 {
 }
 
 // linkPower returns the instantaneous received power in dBm for the
-// directed link from→rx at time now, served from the link-gain cache
-// (the returned entry memoizes the linear form; nil when the cache is
-// disabled). The composition — path-loss base plus static shadow plus
-// epoch fade, summed in that order — mirrors phy.Profile.RxPowerDBm
-// exactly, so a cache hit is bit-identical to the direct computation
-// the gainCacheOff path performs.
-func (m *Medium) linkPower(from, rx *Radio, now time.Duration) (float64, *linkGain) {
+// directed link from the given radio to the receiver in slot rxSlot at
+// time now, served from the link-gain cache (the returned entry
+// memoizes the linear form; nil when the cache is disabled). The
+// receiver side is read entirely from the slot-indexed SoA arrays. The
+// composition — path-loss base plus static shadow plus epoch fade,
+// summed in that order — mirrors phy.Profile.RxPowerDBm exactly, so a
+// cache hit is bit-identical to the direct computation the gainCacheOff
+// path performs.
+func (m *Medium) linkPower(from *Radio, rxSlot int32, now time.Duration) (float64, *linkGain) {
+	rxID := uint64(m.soaID[rxSlot])
 	if m.gainCacheOff {
-		d := phy.Dist(from.pos, rx.pos)
-		return from.profile.RxPowerDBm(m.src, uint64(from.id), uint64(rx.id), d, now), nil
+		d := phy.Dist(from.pos, m.soaPos[rxSlot])
+		return from.profile.RxPowerDBm(m.src, uint64(from.id), rxID, d, now), nil
 	}
-	// The per-transmitter slice is sized lazily: only radios that
-	// actually transmit pay for a row, and the row grows only when the
+	// The per-transmitter row is sized lazily: only radios that
+	// actually transmit pay for one, and the row grows only when the
 	// radio set has grown since.
-	if int(rx.slot) >= len(from.gains) {
-		from.gains = append(from.gains, make([]linkGain, len(m.radios)-len(from.gains))...)
+	row := m.gainRows[from.slot]
+	if int(rxSlot) >= len(row) {
+		row = append(row, make([]linkGain, len(m.radios)-len(row))...)
+		m.gainRows[from.slot] = row
 	}
-	g := &from.gains[rx.slot]
-	if g.have&gainBase == 0 || g.txMove != from.moveEpoch || g.rxMove != rx.moveEpoch {
-		g.baseDBm = from.profile.MeanRxPowerDBm(phy.Dist(from.pos, rx.pos))
-		g.txMove, g.rxMove = from.moveEpoch, rx.moveEpoch
+	g := &row[rxSlot]
+	txMove, rxMove := m.soaMove[from.slot], m.soaMove[rxSlot]
+	if g.have&gainBase == 0 || g.txMove != txMove || g.rxMove != rxMove {
+		g.baseDBm = from.profile.MeanRxPowerDBm(phy.Dist(from.pos, m.soaPos[rxSlot]))
+		g.txMove, g.rxMove = txMove, rxMove
 		g.have |= gainBase
 		g.have &^= gainMW
 	}
@@ -254,7 +333,7 @@ func (m *Medium) linkPower(from, rx *Radio, now time.Duration) (float64, *linkGa
 	var shadow float64
 	if fad.StaticSigmaDB != 0 {
 		if g.have&gainStatic == 0 {
-			g.staticDB = fad.StaticShadowDB(m.src, uint64(from.id), uint64(rx.id))
+			g.staticDB = fad.StaticShadowDB(m.src, uint64(from.id), rxID)
 			g.have |= gainStatic
 			g.have &^= gainMW
 		}
@@ -263,7 +342,7 @@ func (m *Medium) linkPower(from, rx *Radio, now time.Duration) (float64, *linkGa
 	if fad.SigmaDB != 0 {
 		epoch := fad.FadeEpoch(now)
 		if g.have&gainFade == 0 || g.fadeEpoch != epoch {
-			g.fadeDB = fad.EpochShadowDB(m.src, uint64(from.id), uint64(rx.id), epoch)
+			g.fadeDB = fad.EpochShadowDB(m.src, uint64(from.id), rxID, epoch)
 			g.fadeEpoch = epoch
 			g.have |= gainFade
 			g.have &^= gainMW
@@ -312,7 +391,9 @@ func (m *Medium) ensureIndex() {
 	}
 	ix := phy.NewCellIndex(maxReach)
 	for _, r := range m.radios {
-		ix.Insert(r.id, r.pos)
+		// The index holds slots, not ids: a query result then drives the
+		// SoA arrays directly, with no id→radio map probe on the hot path.
+		ix.Insert(uint32(r.slot), r.pos)
 	}
 	m.index = ix
 }
@@ -348,16 +429,10 @@ type Radio struct {
 	lin           phy.Linear
 	irrelevantDBm float64
 
-	// moveEpoch counts SetPos calls; the link-gain cache keys its
-	// path-loss term on the epochs of both endpoint radios, so a move
-	// invalidates exactly the cached distances it changes.
-	moveEpoch uint64
-
-	// slot is this radio's dense index in Medium.radios; gains is the
-	// radio's transmit-side link-gain cache, indexed by receiver slot
-	// and allocated lazily on first transmission (see linkGain).
-	slot  int32
-	gains []linkGain
+	// slot is this radio's dense index in Medium.radios and in the
+	// medium's slot-indexed SoA arrays (positions, mobility epochs,
+	// irrelevance cuts, link-gain rows).
+	slot int32
 
 	// Parallel partition bindings (zero in sequential mode): the radio's
 	// region, that region's scheduler — where every event this radio
@@ -382,12 +457,50 @@ type Radio struct {
 	// leading edge so the hot sums never re-run the dBm→mW exponential.
 	arrivals []arrivalEntry
 
+	// cand memoizes this radio's sorted candidate slot list from the
+	// spatial index — the receivers within its relevance radius, in
+	// dispatch order. Valid while candEpoch matches the medium's
+	// posEpoch; any geometry change invalidates every memo at once. In
+	// partitioned mode the memo is touched only by the region goroutine
+	// servicing this radio's transmissions, so it stays race-free.
+	cand      []uint32
+	candEpoch uint64
+
+	// fan memoizes this radio's full propagation fan-out: the candidates
+	// that survive the irrelevance cut, with both power forms and the
+	// receiver regions — everything propagate would append for a
+	// transmission starting now. Each component is a pure function of the
+	// geometry (posEpoch) and the transmitter profile's fade epoch (all
+	// of one transmitter's links fade on its own profile's clock), so
+	// while both stamps stand still, replaying the memo is bit-identical
+	// to re-running the per-candidate power probes. Disabled alongside
+	// the gain cache so the reference path stays a genuinely direct
+	// computation; race-free in partitioned mode for the same reason the
+	// candidate memo is.
+	fan      []arrivalTarget
+	fanEpoch uint64 // posEpoch the fan was computed at (0 = never)
+	fanFade  uint64 // transmitter-profile fade epoch of the memo
+
 	// locked is the transmission the receive chain is synchronized to.
 	locked       *transmission
 	lockedPower  float64 // dBm
 	maxInterfMW  float64 // worst cumulative interference during the lock
 	ccaBusy      bool
 	txEndPending sim.Event
+
+	// Maintained energy folds over the arrivals list, updated at arrival
+	// edges instead of recomputed by the per-edge loops (the reference
+	// path SetIncremental(false) preserves): ccaMW is the total in-air
+	// energy CCA compares against its threshold; floorMW is the same
+	// fold seeded with the noise floor, serving the preamble
+	// interference-floor test; interfMW is the fold excluding the locked
+	// transmission, valid only while locked. Each is kept bit-identical
+	// to its reference loop — appends extend a left-to-right float fold
+	// exactly, and removals trigger recomputeSums because a mid-list
+	// removal changes the fold's association.
+	ccaMW    float64
+	floorMW  float64
+	interfMW float64
 
 	// Counters.
 	FramesSent      uint64
@@ -534,10 +647,20 @@ func (m *Medium) AddRadio(id uint32, pos phy.Position, profile *phy.Profile, h H
 		irrelevantDBm: profile.NoiseFloorDBm - IrrelevantMarginDB,
 		slot:          int32(len(m.radios)),
 	}
+	r.floorMW = r.lin.NoiseFloorMW
 	r.txEnd.r = r
+	if n := len(m.radios); n > 0 && id <= m.radios[n-1].id {
+		m.idsMonotone = false
+	}
 	m.byID[id] = r
 	m.radios = append(m.radios, r)
+	m.soaID = append(m.soaID, id)
+	m.soaPos = append(m.soaPos, pos)
+	m.soaMove = append(m.soaMove, 0)
+	m.soaIrrel = append(m.soaIrrel, r.irrelevantDBm)
+	m.gainRows = append(m.gainRows, nil)
 	m.indexDirty = true
+	m.posEpoch++
 	return r
 }
 
@@ -552,10 +675,13 @@ func (r *Radio) Pos() phy.Position { return r.pos }
 // incrementally: a move within the radio's current grid cell is O(1)
 // bookkeeping, and only a cell-boundary crossing relocates it.
 func (r *Radio) SetPos(p phy.Position) {
+	m := r.m
 	r.pos = p
-	r.moveEpoch++
-	if m := r.m; m.index != nil && !m.indexDirty {
-		m.index.Move(r.id, p)
+	m.soaPos[r.slot] = p
+	m.soaMove[r.slot]++
+	m.posEpoch++
+	if m.index != nil && !m.indexDirty {
+		m.index.Move(uint32(r.slot), p)
 	}
 }
 
@@ -563,17 +689,27 @@ func (r *Radio) SetPos(p phy.Position) {
 // re-places it at pos, keeping the attachment (profile, handler,
 // precomputed linear tables) intact. It is the per-radio half of the
 // arena-reuse path: call Medium.Reset first (which invalidates the
-// link-gain cache and marks the spatial index for rebuild), then Reset
-// every radio with its new-run position.
+// link-gain cache if the seed changed), then Reset every radio with its
+// new-run position. The move epoch, geometry epoch, and spatial-index
+// rebuild flag advance only if the radio actually lands somewhere new,
+// so a same-placement replication keeps its cached path-loss terms, its
+// candidate and fan-out memos, and the built index.
 func (r *Radio) Reset(pos phy.Position) {
+	m := r.m
+	if pos != r.pos {
+		m.soaMove[r.slot]++
+		m.posEpoch++
+		m.indexDirty = true
+	}
 	r.pos = pos
-	r.moveEpoch = 0
+	m.soaPos[r.slot] = pos
 	r.state = stateListen
 	clear(r.arrivals)
 	r.arrivals = r.arrivals[:0]
 	r.locked = nil
 	r.lockedPower = 0
 	r.maxInterfMW = 0
+	r.ccaMW, r.floorMW, r.interfMW = 0, r.lin.NoiseFloorMW, 0
 	r.ccaBusy = false
 	r.txEndPending = sim.Event{}
 	r.FramesSent, r.FramesDecoded, r.FramesErrored = 0, 0, 0
@@ -619,20 +755,39 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 	tx := m.newTransmission(r, f, rate, now+air)
 	m.ensureIndex()
 	if m.index == nil {
-		for _, rx := range m.radios {
-			m.propagate(tx, r, rx, now)
+		for slot := range m.radios {
+			m.propagate(tx, r, int32(slot), now)
 		}
 	} else {
 		// Candidate cells are visited in deterministic grid order; the
-		// gathered ids are then dispatched ascending, which coincides
-		// with the exhaustive path's insertion order for node-built
-		// networks (ids are assigned sequentially), keeping fixed-seed
-		// runs bit-identical across the index.
-		ids := m.index.AppendWithin(m.candidates[:0], r.pos, r.reach)
-		slices.Sort(ids)
-		m.candidates = ids
-		for _, id := range ids {
-			m.propagate(tx, r, m.byID[id], now)
+		// gathered slots are then put in ascending-id dispatch order,
+		// which coincides with the exhaustive path's insertion order for
+		// node-built networks (ids are assigned sequentially), keeping
+		// fixed-seed runs bit-identical across the index. The sorted list
+		// is memoized per transmitter: both steps are pure functions of
+		// the geometry, so while posEpoch stands still the memo IS the
+		// fresh query.
+		slots := r.cand
+		if r.candEpoch != m.posEpoch {
+			slots = m.index.AppendWithin(r.cand[:0], r.pos, r.reach)
+			m.sortCandidates(slots)
+			r.cand = slots
+			r.candEpoch = m.posEpoch
+		}
+		var fade uint64
+		if pf := &r.profile.Fading; pf.SigmaDB != 0 {
+			fade = pf.FadeEpoch(now)
+		}
+		if !m.gainCacheOff && r.fanEpoch == m.posEpoch && r.fanFade == fade {
+			tx.targets = append(tx.targets, r.fan...)
+		} else {
+			for _, slot := range slots {
+				m.propagate(tx, r, int32(slot), now)
+			}
+			if !m.gainCacheOff {
+				r.fan = append(r.fan[:0], tx.targets...)
+				r.fanEpoch, r.fanFade = m.posEpoch, fade
+			}
 		}
 	}
 	r.txEndPending = m.sched.AtAction(now+air, &r.txEnd)
@@ -649,19 +804,37 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 	return air
 }
 
-// propagate adds rx to tx's receiver set, unless the frame arrives so
-// far under rx's noise floor that it cannot shift any CCA, lock, or
-// SINR decision there. Received power comes from the link-gain cache:
-// for static link/epoch combinations already seen this run the
-// transcendental PHY arithmetic is skipped entirely. The edges
-// themselves are scheduled once per transmission by Transmit, not once
-// per receiver.
-func (m *Medium) propagate(tx *transmission, from, rx *Radio, now time.Duration) {
-	if rx == from {
+// sortCandidates puts a slot list gathered from the spatial index into
+// dispatch order: ascending radio id, the contract every reference path
+// shares. Node-built networks assign ids in slot order, so the common
+// case is a plain slot sort; hand-assembled media with out-of-order ids
+// sort through the id array instead.
+func (m *Medium) sortCandidates(slots []uint32) {
+	if m.idsMonotone {
+		slices.Sort(slots)
 		return
 	}
-	p, g := m.linkPower(from, rx, now)
-	if p < rx.irrelevantDBm {
+	ids := m.soaID
+	slices.SortFunc(slots, func(a, b uint32) int {
+		return cmp.Compare(ids[a], ids[b])
+	})
+}
+
+// propagate adds the radio in slot rxSlot to tx's receiver set, unless
+// the frame arrives so far under that receiver's noise floor that it
+// cannot shift any CCA, lock, or SINR decision there. The candidate
+// test runs entirely on the slot-indexed SoA arrays and the link-gain
+// row — for static link/epoch combinations already seen this run the
+// transcendental PHY arithmetic is skipped entirely, and the *Radio is
+// only dereferenced for candidates that survive the power cut. The
+// edges themselves are scheduled once per transmission by Transmit,
+// not once per receiver.
+func (m *Medium) propagate(tx *transmission, from *Radio, rxSlot int32, now time.Duration) {
+	if rxSlot == from.slot {
+		return
+	}
+	p, g := m.linkPower(from, rxSlot, now)
+	if p < m.soaIrrel[rxSlot] {
 		return
 	}
 	var mw float64
@@ -670,6 +843,7 @@ func (m *Medium) propagate(tx *transmission, from, rx *Radio, now time.Duration)
 	} else {
 		mw = phy.DBmToMilliwatt(p)
 	}
+	rx := m.radios[rxSlot]
 	tx.targets = append(tx.targets, arrivalTarget{rx: rx, reg: rx.reg, dbm: p, mw: mw})
 }
 
@@ -678,8 +852,27 @@ var DebugArrival func(rx uint32, from uint32, powerDBm float64, state string)
 
 // arrivalStart handles the leading edge of a transmission reaching this
 // radio. powerMW is the caller-supplied linear form of powerDBm.
+//
+// Incremental mode maintains the three energy folds at this edge
+// instead of looping over the arrivals per decision, and stays
+// bit-identical to the reference loops by a fold-prefix argument:
+// appending to a left-to-right float fold extends it exactly (the
+// prefix's association is unchanged), and the two "all but the new
+// arrival" quantities the decisions need — the preamble's interference
+// floor and a fresh lock's interference record — are precisely the
+// folds' values before this append.
 func (r *Radio) arrivalStart(tx *transmission, powerDBm, powerMW float64) {
+	inc := !r.m.incrementalOff
+	preCCA, preFloor := r.ccaMW, r.floorMW
 	r.arrivals = append(r.arrivals, arrivalEntry{tx: tx, dbm: powerDBm, mw: powerMW})
+	if inc {
+		r.ccaMW += powerMW
+		r.floorMW += powerMW
+		if r.locked != nil {
+			// A lock switch below re-seeds interfMW from preCCA.
+			r.interfMW += powerMW
+		}
+	}
 	prof := r.profile
 	if DebugArrival != nil {
 		st := "listen-unlocked"
@@ -700,8 +893,16 @@ func (r *Radio) arrivalStart(tx *transmission, powerDBm, powerMW float64) {
 		r.FramesMissed++
 	case r.locked == nil:
 		// Preamble must clear the interference floor to synchronize.
-		if powerDBm >= r.interferenceFloorDBm(tx)+prof.SINRRequiredDB[phy.Rate1.Index()] {
-			r.lock(tx, powerDBm)
+		// preFloor is noise plus every arrival before this one, the exact
+		// value the reference loop recomputes with tx excluded.
+		var floor float64
+		if inc {
+			floor = phy.MilliwattToDBm(preFloor)
+		} else {
+			floor = r.interferenceFloorDBm(tx)
+		}
+		if powerDBm >= floor+prof.SINRRequiredDB[phy.Rate1.Index()] {
+			r.lock(tx, powerDBm, preCCA)
 		} else {
 			r.FramesMissed++
 		}
@@ -710,23 +911,41 @@ func (r *Radio) arrivalStart(tx *transmission, powerDBm, powerMW float64) {
 		// the receiver; the previous frame is lost.
 		r.CaptureSwitches++
 		r.FramesMissed++ // the abandoned frame
-		r.lock(tx, powerDBm)
+		r.lock(tx, powerDBm, preCCA)
 	default:
 		r.FramesMissed++
 	}
 
 	if r.locked != nil && r.locked != tx {
 		// Newcomer interferes with the locked frame.
-		r.noteInterference()
+		if inc {
+			if r.interfMW > r.maxInterfMW {
+				r.maxInterfMW = r.interfMW
+			}
+		} else {
+			r.noteInterference()
+		}
 	}
 	r.updateCCA()
 }
 
-func (r *Radio) lock(tx *transmission, powerDBm float64) {
+// lock synchronizes the receive chain to tx, which is always the
+// arrival just appended. interfMW is the pre-append total-energy fold:
+// with tx last in the list, that is exactly the reference's "every
+// arrival except the locked one" fold — including a previously locked
+// frame a capture just abandoned, at its original fold position.
+func (r *Radio) lock(tx *transmission, powerDBm, interfMW float64) {
 	r.locked = tx
 	r.lockedPower = powerDBm
 	r.maxInterfMW = 0
-	r.noteInterference()
+	if r.m.incrementalOff {
+		r.noteInterference()
+		return
+	}
+	r.interfMW = interfMW
+	if interfMW > 0 {
+		r.maxInterfMW = interfMW
+	}
 }
 
 // noteInterference records the current cumulative interference against
@@ -746,7 +965,8 @@ func (r *Radio) noteInterference() {
 
 // interferenceFloorDBm returns noise + all arrivals except tx, in dBm.
 // The noise floor comes from the attach-time linear table rather than a
-// fresh dBm→mW conversion per call.
+// fresh dBm→mW conversion per call. Reference path only: incremental
+// mode reads the maintained floorMW fold instead (see arrivalStart).
 func (r *Radio) interferenceFloorDBm(except *transmission) float64 {
 	mw := r.lin.NoiseFloorMW
 	for _, a := range r.arrivals {
@@ -755,6 +975,27 @@ func (r *Radio) interferenceFloorDBm(except *transmission) float64 {
 		}
 	}
 	return phy.MilliwattToDBm(mw)
+}
+
+// recomputeSums rebuilds the three maintained energy folds from the
+// arrivals list in arrival order — the same left-to-right folds the
+// reference loops perform. Removing an arrival from the middle of the
+// list changes the folds' association, so the running values cannot be
+// maintained by subtraction without parting from the reference one ulp
+// at a time; one rebuild per trailing edge keeps them exact (and, with
+// the list empty, pins them back to exactly zero — no drift ever
+// accumulates).
+func (r *Radio) recomputeSums() {
+	cca, interf := 0.0, 0.0
+	floor := r.lin.NoiseFloorMW
+	for _, a := range r.arrivals {
+		cca += a.mw
+		floor += a.mw
+		if a.tx != r.locked {
+			interf += a.mw
+		}
+	}
+	r.ccaMW, r.floorMW, r.interfMW = cca, floor, interf
 }
 
 // arrivalEnd handles the trailing edge of a transmission at this radio.
@@ -767,6 +1008,9 @@ func (r *Radio) arrivalEnd(tx *transmission) {
 			copy(r.arrivals[i:], r.arrivals[i+1:])
 			r.arrivals[last] = arrivalEntry{}
 			r.arrivals = r.arrivals[:last]
+			if !r.m.incrementalOff {
+				r.recomputeSums()
+			}
 			break
 		}
 	}
@@ -818,11 +1062,15 @@ func (r *Radio) verdict(tx *transmission) bool {
 func (r *Radio) updateCCA() {
 	busy := r.state == stateTransmit || r.locked != nil
 	if !busy && len(r.arrivals) > 0 {
-		var mw float64
-		for _, a := range r.arrivals {
-			mw += a.mw
+		if r.m.incrementalOff {
+			var mw float64
+			for _, a := range r.arrivals {
+				mw += a.mw
+			}
+			busy = mw >= r.lin.CCAThresholdMW
+		} else {
+			busy = r.ccaMW >= r.lin.CCAThresholdMW
 		}
-		busy = mw >= r.lin.CCAThresholdMW
 	}
 	if busy != r.ccaBusy {
 		r.ccaBusy = busy

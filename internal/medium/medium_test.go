@@ -340,7 +340,7 @@ func TestLinkGainCacheMatchesDirect(t *testing.T) {
 		d := phy.Dist(from.Pos(), rx.Pos())
 		want := from.Profile().RxPowerDBm(src, uint64(from.ID()), uint64(rx.ID()), d, now)
 		for i := 0; i < 3; i++ { // repeat: later queries come from the cache
-			got, g := m.linkPower(from, rx, now)
+			got, g := m.linkPower(from, rx.slot, now)
 			if got != want {
 				t.Fatalf("linkPower(%d->%d, %v) query %d = %v, want direct %v",
 					from.ID(), rx.ID(), now, i, got, want)
@@ -378,7 +378,7 @@ func TestLinkGainCacheMatchesDirect(t *testing.T) {
 	m.SetGainCache(false)
 	d := phy.Dist(a.Pos(), b.Pos())
 	want := prof.RxPowerDBm(src, 1, 2, d, 70*time.Millisecond)
-	got, g := m.linkPower(a, b, 70*time.Millisecond)
+	got, g := m.linkPower(a, b.slot, 70*time.Millisecond)
 	if got != want || g != nil {
 		t.Fatalf("cache-off linkPower = (%v, %v), want (%v, nil)", got, g, want)
 	}

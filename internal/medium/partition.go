@@ -3,7 +3,6 @@ package medium
 import (
 	"fmt"
 	"math"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,24 +28,25 @@ import (
 // sim.Exec.Send, whose timestamps are at least one propagation bound in
 // the future — the exec's published-clock protocol then guarantees the
 // receiving region observes the sender's writes (the race detector job
-// in CI checks exactly this). The per-transmitter link-gain cache stays
-// safe untouched: a radio transmits only on its own region's goroutine,
-// and the receiver-side fields a cache fill reads (position, move
-// epoch, slot) are immutable while a partition is installed (mobility
-// scenarios fall back to the sequential kernel).
+// in CI checks exactly this). The link-gain cache stays safe: each
+// gainRows row is written only by its transmitter's region (a radio
+// transmits only on its own region's goroutine, and distinct rows are
+// distinct elements of a fixed outer slice), and the receiver-side SoA
+// arrays a cache fill reads (position, mobility epoch, id) are
+// immutable while a partition is installed (mobility scenarios fall
+// back to the sequential kernel).
 
 // medShard is the per-region slice of the medium's mutable transmit
-// state: descriptor pool, candidate and sort scratch and counters, each
-// touched only by the owning region's goroutine — except returns, the
-// locked list through which remote regions hand descriptors back to
-// their origin pool so the targets capacity stays warm where the
-// fan-out happens (one short lock per finished transmission). The pad
-// keeps two shards' hot counters off one cache line.
+// state: descriptor pool, sort scratch and counters, each touched only
+// by the owning region's goroutine — except returns, the locked list
+// through which remote regions hand descriptors back to their origin
+// pool so the targets capacity stays warm where the fan-out happens
+// (one short lock per finished transmission). The pad keeps two
+// shards' hot counters off one cache line.
 type medShard struct {
-	freeTx     []*transmission
-	candidates []uint32
-	regCount   []int32
-	sortBuf    []arrivalTarget
+	freeTx   []*transmission
+	regCount []int32
+	sortBuf  []arrivalTarget
 
 	transmissions uint64
 	deliveries    uint64
@@ -133,6 +133,9 @@ func (m *Medium) SetPartition(ex *sim.Exec, grid phy.RegionGrid) {
 		panic("medium: parallel partition requires the spatial index (degenerate radio model or brute-force mode)")
 	}
 	m.ex = ex
+	// Region assignments are baked into the fan-out memos (arrivalTarget
+	// carries reg), so installing a partition is a geometry change.
+	m.posEpoch++
 	m.shards = make([]medShard, grid.Regions())
 	for i := range m.shards {
 		m.shards[i].regCount = make([]int32, grid.Regions())
@@ -243,14 +246,33 @@ func (m *Medium) partTransmit(r *Radio, f *frame.Frame, rate phy.Rate) time.Dura
 	r.updateCCA()
 
 	tx := sh.newTransmission(r, f, rate, now+air)
-	ids := m.index.AppendWithin(sh.candidates[:0], r.pos, r.reach)
-	slices.Sort(ids)
-	sh.candidates = ids
-	if cap(tx.targets) < len(ids) {
-		tx.targets = make([]arrivalTarget, 0, len(ids))
+	// Same per-transmitter memo as the sequential path; only this
+	// radio's region goroutine services its transmissions, so the memo
+	// never races across shards.
+	slots := r.cand
+	if r.candEpoch != m.posEpoch {
+		slots = m.index.AppendWithin(r.cand[:0], r.pos, r.reach)
+		m.sortCandidates(slots)
+		r.cand = slots
+		r.candEpoch = m.posEpoch
 	}
-	for _, id := range ids {
-		m.propagate(tx, r, m.byID[id], now)
+	var fade uint64
+	if pf := &r.profile.Fading; pf.SigmaDB != 0 {
+		fade = pf.FadeEpoch(now)
+	}
+	if !m.gainCacheOff && r.fanEpoch == m.posEpoch && r.fanFade == fade {
+		tx.targets = append(tx.targets, r.fan...)
+	} else {
+		if cap(tx.targets) < len(slots) {
+			tx.targets = make([]arrivalTarget, 0, len(slots))
+		}
+		for _, slot := range slots {
+			m.propagate(tx, r, int32(slot), now)
+		}
+		if !m.gainCacheOff {
+			r.fan = append(r.fan[:0], tx.targets...)
+			r.fanEpoch, r.fanFade = m.posEpoch, fade
+		}
 	}
 	r.txEndPending = sched.AtAction(now+air, &r.txEnd)
 	nt := len(tx.targets)

@@ -51,6 +51,22 @@ func StationAddr(id uint32) Addr {
 	return Addr(10<<24 | id)
 }
 
+// StationID inverts StationAddr: it extracts the station id from a 10/8
+// simulation address, reporting false for addresses outside the
+// convention. Both StationAddr and frame.AddrFromID are pure functions
+// of the id, which is what lets a computed neighbor resolver
+// (Stack.SetResolver) replace per-station ARP tables entirely.
+func StationID(a Addr) (uint32, bool) {
+	if uint32(a)>>24 != 10 {
+		return 0, false
+	}
+	id := uint32(a) & (1<<24 - 1)
+	if id == 0 || id > MaxStationID {
+		return 0, false
+	}
+	return id, true
+}
+
 // String renders the address in dotted-quad notation.
 func (a Addr) String() string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
@@ -160,6 +176,12 @@ type Stack struct {
 	handlers  map[Protocol]Handler
 	space     []func() // transmit-queue space subscribers
 
+	// resolver, when set, computes IP→MAC mappings the static neighbor
+	// table does not hold (SetResolver). The node builder installs one
+	// closing over the station-id bijection, which keeps per-station
+	// neighbor state O(1) instead of O(stations).
+	resolver func(Addr) (frame.Addr, bool)
+
 	// rxHops records, per source, how many MAC hops the most recently
 	// delivered packet from that source traveled (derived from its TTL).
 	rxHops map[Addr]uint8
@@ -214,8 +236,30 @@ func (s *Stack) Addr() Addr { return s.addr }
 func (s *Stack) MAC() *mac.MAC { return s.mac }
 
 // AddNeighbor installs a static IP→MAC mapping (the testbed equivalent
-// of a pre-populated ARP cache).
+// of a pre-populated ARP cache). Explicit entries take precedence over
+// the computed resolver.
 func (s *Stack) AddNeighbor(ip Addr, hw frame.Addr) { s.neighbors[ip] = hw }
+
+// SetResolver installs a computed neighbor resolver, consulted whenever
+// the static neighbor table has no entry for a next hop. For networks
+// whose link-layer addresses are a pure function of the IP — every
+// node-built network, where both sides derive from the station id —
+// this replaces n stations × n entries of warm ARP state with one
+// closure, without changing a single resolution result (the node
+// package's equivalence test pins that).
+func (s *Stack) SetResolver(fn func(Addr) (frame.Addr, bool)) { s.resolver = fn }
+
+// lookupNeighbor resolves an IP to its link-layer address: the static
+// table first, then the computed resolver.
+func (s *Stack) lookupNeighbor(ip Addr) (frame.Addr, bool) {
+	if hw, ok := s.neighbors[ip]; ok {
+		return hw, true
+	}
+	if s.resolver != nil {
+		return s.resolver(ip)
+	}
+	return frame.Addr{}, false
+}
 
 // AddRoute installs a static route: packets for dst go via nextHop,
 // which must itself be a neighbor.
@@ -305,7 +349,7 @@ func (s *Stack) send(h Header, payload []byte) error {
 			return fmt.Errorf("%w: %v", ErrNoRoute, h.Dst)
 		}
 		var ok bool
-		if hw, ok = s.neighbors[next]; !ok {
+		if hw, ok = s.lookupNeighbor(next); !ok {
 			s.Dropped++
 			return fmt.Errorf("%w: %v", ErrNoNeighbor, next)
 		}
@@ -333,7 +377,7 @@ func (s *Stack) SendControl(p Protocol, payload []byte, dst Addr, rate phy.Rate)
 	hw := frame.Broadcast
 	if dst != Broadcast {
 		var ok bool
-		if hw, ok = s.neighbors[dst]; !ok {
+		if hw, ok = s.lookupNeighbor(dst); !ok {
 			s.Dropped++
 			return fmt.Errorf("%w: %v", ErrNoNeighbor, dst)
 		}

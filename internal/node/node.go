@@ -56,7 +56,9 @@ type Network struct {
 	Exec *sim.Exec
 	Grid phy.RegionGrid
 
-	partitioned bool // Medium.SetPartition installed (first Run)
+	partitioned bool     // Medium.SetPartition installed (first Run)
+	schedKind   sim.Kind // queue backend for every scheduler (SetScheduler)
+	tableARP    bool     // explicit O(n²) neighbor wiring (WithNeighborTable)
 }
 
 // Option configures a Network.
@@ -68,6 +70,23 @@ func WithProfile(p *phy.Profile) Option { return func(n *Network) { n.Profile = 
 // WithMSS sets the TCP maximum segment size (the paper uses 512-byte
 // application packets).
 func WithMSS(mss int) Option { return func(n *Network) { n.MSS = mss } }
+
+// WithScheduler selects the event-queue backend (sim.KindHeap or
+// sim.KindCalendar) for every scheduler the network drives — the
+// global one and, in parallel mode, every region's. The backends are
+// bit-identical (the sim package's cross-backend tests insist); the
+// calendar queue is the right pick for city-scale event populations.
+func WithScheduler(k sim.Kind) Option { return func(n *Network) { n.schedKind = k } }
+
+// WithNeighborTable restores the explicit per-station neighbor wiring:
+// every station's stack gets a warm ARP entry for every other station,
+// the pre-resolver reference behaviour. Resolution results are
+// provably identical either way — station and link-layer addresses are
+// both pure functions of the station id — and the equivalence test
+// runs the same seed both ways to keep that claim honest. The explicit
+// table costs O(stations²) build time and memory, which is exactly why
+// city-scale networks default to the computed resolver.
+func WithNeighborTable() Option { return func(n *Network) { n.tableARP = true } }
 
 // WithParallel switches the network to the space-partitioned parallel
 // execution mode: the field is partitioned by grid, every station's
@@ -106,13 +125,33 @@ func NewNetwork(seed uint64, opts ...Option) *Network {
 	for _, opt := range opts {
 		opt(n)
 	}
+	n.applySchedKind()
 	return n
+}
+
+// SetScheduler switches every scheduler the network drives to the
+// given queue backend. Only legal while no events are pending — in
+// practice, before the first station schedules anything.
+func (n *Network) SetScheduler(k sim.Kind) {
+	n.schedKind = k
+	n.applySchedKind()
+}
+
+func (n *Network) applySchedKind() {
+	n.Sched.SetKind(n.schedKind)
+	if n.Exec != nil {
+		for i := 0; i < n.Exec.Regions(); i++ {
+			n.Exec.Sched(i).SetKind(n.schedKind)
+		}
+	}
 }
 
 // AddStation creates a station at pos with the given MAC configuration
 // (Address is assigned automatically) and wires it into the network:
-// every station knows every other station's link-layer address, the
-// testbed equivalent of a warm ARP cache.
+// every station can resolve every other station's link-layer address —
+// the testbed equivalent of a warm ARP cache, served by a computed
+// resolver rather than O(stations²) table entries (WithNeighborTable
+// restores the explicit wiring).
 func (n *Network) AddStation(pos phy.Position, cfg mac.Config) *Station {
 	return n.AddStationProfile(pos, cfg, nil)
 }
@@ -145,12 +184,32 @@ func (n *Network) AddStationProfile(pos phy.Position, cfg mac.Config, profile *p
 	// by Network.Reset.
 	st.Net.FreezeSubscribers()
 
-	for _, other := range n.Stations {
-		other.Net.AddNeighbor(st.Addr(), st.HWAddr())
-		st.Net.AddNeighbor(other.Addr(), other.HWAddr())
+	if n.tableARP {
+		for _, other := range n.Stations {
+			other.Net.AddNeighbor(st.Addr(), st.HWAddr())
+			st.Net.AddNeighbor(other.Addr(), other.HWAddr())
+		}
+	} else {
+		st.Net.SetResolver(n.neighborHW)
 	}
 	n.Stations = append(n.Stations, st)
 	return st
+}
+
+// neighborHW computes the link-layer address of any station this
+// network has built: the station's network address and MAC address are
+// both pure functions of its id (network.StationAddr, frame.AddrFromID),
+// so the per-stack warm ARP table collapses to arithmetic plus a bound
+// check. Addresses beyond the built station set fail resolution exactly
+// as a missing table entry would. The closure reads only the station
+// count, which is frozen before any event runs, so it is safe from
+// every region goroutine in parallel mode.
+func (n *Network) neighborHW(ip network.Addr) (frame.Addr, bool) {
+	id, ok := network.StationID(ip)
+	if !ok || id > uint32(len(n.Stations)) {
+		return frame.Addr{}, false
+	}
+	return frame.AddrFromID(id), true
 }
 
 // Run advances the simulation by d.
@@ -183,8 +242,8 @@ func (n *Network) Fired() uint64 {
 // re-placed at positions[i]. Station count, per-station MAC
 // configuration and radio profiles are construction-time decisions and
 // survive — which is exactly what makes Reset so much cheaper than
-// rebuilding: the O(stations²) neighbor wiring, the map allocations and
-// the rng stream states are all reused.
+// rebuilding: the per-station stacks, the map allocations and the rng
+// stream states are all reused.
 //
 // The per-station reset order mirrors AddStationProfile's construction
 // order, so the t=0 events a reset network schedules (IBSS beacons) get

@@ -25,10 +25,50 @@ type cellKey struct{ cx, cy int32 }
 //
 // CellIndex is not safe for concurrent use, matching the
 // single-goroutine simulation kernel it serves.
+//
+// Above the fine cells sits a coarse layer of supercells, each covering
+// a coarseSize×coarseSize block of cells, holding only an occupancy
+// count. Wide queries — a radius spanning many cells, or a sparse
+// clustered field where most of the bounding box is empty space —
+// consult the coarse layer to skip whole supercell rows and row
+// segments without probing each fine cell. The skip only ever elides
+// provably empty cells, so query output (and its deterministic row-
+// major order) is bit-identical with the hierarchy on or off;
+// SetHierarchy(false) forces the flat scan as the reference path.
 type CellIndex struct {
-	cell  float64
-	cells map[cellKey][]uint32
-	where map[uint32]cellKey
+	cell   float64
+	cells  map[cellKey][]uint32
+	where  map[uint32]cellKey
+	coarse map[cellKey]int32 // supercell → indexed-id count
+}
+
+const (
+	// coarseShift is the log2 edge ratio between a supercell and a
+	// cell: supercells cover 8×8 cells, a balance between skip reach
+	// and coarse-layer probe cost.
+	coarseShift = 3
+	coarseSize  = 1 << coarseShift
+	// coarseMinCells is the bounding-box area (in cells) below which a
+	// query walks the flat grid directly: a handful of probes is
+	// cheaper than any amount of skipping.
+	coarseMinCells = 32
+)
+
+// flatOnly disables the coarse layer in queries (SetHierarchy).
+var flatOnly bool
+
+// SetHierarchy disables (false) or re-enables (true) the coarse
+// supercell layer in CellIndex queries. Like medium.SetBruteForce it
+// exists for verification: the skip is provably output-preserving, and
+// the equivalence tests run both ways to keep that proof honest.
+// Production callers never need it. Not safe to flip mid-query.
+func SetHierarchy(on bool) { flatOnly = !on }
+
+// superKey maps a cell to its supercell. Arithmetic shift floors
+// toward negative infinity, which is the correct block assignment for
+// negative coordinates too.
+func superKey(k cellKey) cellKey {
+	return cellKey{cx: k.cx >> coarseShift, cy: k.cy >> coarseShift}
 }
 
 // NewCellIndex returns an empty index with the given cell size in
@@ -40,9 +80,10 @@ func NewCellIndex(cellSize float64) *CellIndex {
 		panic(fmt.Sprintf("phy: cell size %v must be positive and finite", cellSize))
 	}
 	return &CellIndex{
-		cell:  cellSize,
-		cells: make(map[cellKey][]uint32),
-		where: make(map[uint32]cellKey),
+		cell:   cellSize,
+		cells:  make(map[cellKey][]uint32),
+		where:  make(map[uint32]cellKey),
+		coarse: make(map[cellKey]int32),
 	}
 }
 
@@ -69,6 +110,7 @@ func (ix *CellIndex) Insert(id uint32, p Position) {
 	k := ix.keyFor(p)
 	ix.where[id] = k
 	ix.cells[k] = insertSorted(ix.cells[k], id)
+	ix.coarse[superKey(k)]++
 }
 
 // Move updates id's position, relocating it between cells only when the
@@ -89,6 +131,20 @@ func (ix *CellIndex) Move(id uint32, p Position) {
 	}
 	ix.where[id] = k
 	ix.cells[k] = insertSorted(ix.cells[k], id)
+	if os, ns := superKey(old), superKey(k); os != ns {
+		ix.coarseDec(os)
+		ix.coarse[ns]++
+	}
+}
+
+// coarseDec drops one occupant from a supercell, deleting the entry at
+// zero so the coarse map stays proportional to the occupied area.
+func (ix *CellIndex) coarseDec(sk cellKey) {
+	if n := ix.coarse[sk] - 1; n == 0 {
+		delete(ix.coarse, sk)
+	} else {
+		ix.coarse[sk] = n
+	}
 }
 
 // Remove deletes id from the index. Removing an unknown id is a no-op.
@@ -105,6 +161,7 @@ func (ix *CellIndex) Remove(id uint32) {
 	if len(ix.cells[k]) == 0 {
 		delete(ix.cells, k)
 	}
+	ix.coarseDec(superKey(k))
 }
 
 // AppendWithin appends to dst the ids of every indexed position within
@@ -128,24 +185,51 @@ func (ix *CellIndex) AppendWithin(dst []uint32, center Position, radius float64)
 	cy0 := int32(math.Floor((center.Y - radius) / c))
 	cy1 := int32(math.Floor((center.Y + radius) / c))
 	r2 := radius * radius
+	// The coarse layer pays only on wide boxes: a 3×3 query is cheaper
+	// probed directly.
+	useCoarse := !flatOnly &&
+		(int64(cx1-cx0)+1)*(int64(cy1-cy0)+1) >= coarseMinCells
 	for cy := cy0; cy <= cy1; cy++ {
-		for cx := cx0; cx <= cx1; cx++ {
+		if useCoarse && cy&(coarseSize-1) == 0 && cy1-cy >= coarseSize-1 &&
+			ix.coarseRowEmpty(cy>>coarseShift, cx0, cx1) {
+			// A fully empty supercell row, and the box covers all of it:
+			// skip its remaining coarseSize-1 cell rows too.
+			cy += coarseSize - 1
+			continue
+		}
+		cx := cx0
+		for cx <= cx1 {
+			if useCoarse && ix.coarse[superKey(cellKey{cx, cy})] == 0 {
+				// Empty supercell: jump to its right edge.
+				cx = (cx>>coarseShift + 1) << coarseShift
+				continue
+			}
 			ids := ix.cells[cellKey{cx, cy}]
-			if len(ids) == 0 {
-				continue
+			if len(ids) > 0 {
+				// Skip cells whose nearest point is beyond the radius: the
+				// bounding box visits corner cells the disc cannot touch.
+				nx := clampF(center.X, float64(cx)*c, float64(cx+1)*c)
+				ny := clampF(center.Y, float64(cy)*c, float64(cy+1)*c)
+				dx, dy := nx-center.X, ny-center.Y
+				if dx*dx+dy*dy <= r2 {
+					dst = append(dst, ids...)
+				}
 			}
-			// Skip cells whose nearest point is beyond the radius: the
-			// bounding box visits corner cells the disc cannot touch.
-			nx := clampF(center.X, float64(cx)*c, float64(cx+1)*c)
-			ny := clampF(center.Y, float64(cy)*c, float64(cy+1)*c)
-			dx, dy := nx-center.X, ny-center.Y
-			if dx*dx+dy*dy > r2 {
-				continue
-			}
-			dst = append(dst, ids...)
+			cx++
 		}
 	}
 	return dst
+}
+
+// coarseRowEmpty reports whether every supercell of row sy overlapping
+// the cell-column range [cx0, cx1] is empty.
+func (ix *CellIndex) coarseRowEmpty(sy, cx0, cx1 int32) bool {
+	for sx := cx0 >> coarseShift; sx <= cx1>>coarseShift; sx++ {
+		if ix.coarse[cellKey{sx, sy}] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // clampF clamps v into [lo, hi].

@@ -1,0 +1,45 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"adhocsim/internal/phy"
+	"adhocsim/internal/sim"
+)
+
+// TestIndexedAdjacencyMatchesBrute pins the spatial-hash edge discovery
+// against the all-pairs reference scan on a field big enough to take
+// the indexed path: identical adjacency lists (order included, so BFS
+// tie-breaks agree), identical next-hop tables, identical hop counts.
+func TestIndexedAdjacencyMatchesBrute(t *testing.T) {
+	rng := sim.NewSource(7).Stream("routing.adjacency-test")
+	n := 4 * indexedAdjacencyMin
+	positions := make([]phy.Position, n)
+	for i := range positions {
+		positions[i] = phy.Pos(rng.Float64()*3000, rng.Float64()*3000)
+	}
+	const linkRange = 130.0
+
+	indexed := NewGraph(positions, linkRange)
+	bruteAdjacency = true
+	defer func() { bruteAdjacency = false }()
+	brute := NewGraph(positions, linkRange)
+
+	edges := 0
+	for i := range indexed.adj {
+		edges += len(indexed.adj[i])
+	}
+	if edges == 0 {
+		t.Fatal("graph has no edges: the field does not exercise edge discovery")
+	}
+	if !reflect.DeepEqual(indexed.adj, brute.adj) {
+		t.Error("adjacency lists differ between indexed discovery and the all-pairs scan")
+	}
+	if !reflect.DeepEqual(indexed.next, brute.next) {
+		t.Error("next-hop tables differ between indexed discovery and the all-pairs scan")
+	}
+	if !reflect.DeepEqual(indexed.hops, brute.hops) {
+		t.Error("hop counts differ between indexed discovery and the all-pairs scan")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"adhocsim/internal/node"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/routing"
+	"adhocsim/internal/sim"
 	"adhocsim/internal/stats"
 	"adhocsim/internal/transport"
 )
@@ -96,6 +97,14 @@ func Build(spec Spec) (*Instance, error) {
 	opts := []node.Option{node.WithMSS(mss)}
 	if netProfile != nil {
 		opts = append(opts, node.WithProfile(netProfile))
+	}
+	// check() already rejected unknown spellings, so this cannot fail.
+	schedKind, err := sim.ParseKind(spec.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	if schedKind != sim.KindHeap {
+		opts = append(opts, node.WithScheduler(schedKind))
 	}
 	if p := spec.Parallel; p != nil && spec.Mobility == nil {
 		// Size the region grid for the field. Explicit Cols/Rows are used
@@ -523,6 +532,8 @@ func (inst *Instance) Collect(horizon time.Duration) Result {
 	if inst.Spec.Routing != nil {
 		res.Routing = inst.Spec.Routing.Protocol
 	}
+	res.Flows = make([]FlowResult, 0, len(inst.Spec.Flows))
+	res.Stations = make([]StationResult, 0, len(inst.Net.Stations))
 	kbps := make([]float64, 0, len(inst.Spec.Flows))
 	for i, f := range inst.Spec.Flows {
 		src := inst.Net.Stations[f.Src]
@@ -593,6 +604,27 @@ func Run(spec Spec) (Result, error) {
 	}
 	horizon := inst.Spec.Duration.D()
 	inst.Net.Run(horizon)
+	return inst.Collect(horizon), nil
+}
+
+// RunProgress is Run with an in-run progress meter for long city-scale
+// runs: the horizon is driven in ~1% slices and tick is called after
+// each with the simulated time reached and the events fired so far.
+// Slicing is invisible to the simulation — the scheduler runs exactly
+// the events at or before each target either way — so the result is
+// bit-identical to Run's.
+func RunProgress(spec Spec, tick func(now, horizon time.Duration, fired uint64)) (Result, error) {
+	inst, err := Build(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	horizon := inst.Spec.Duration.D()
+	const steps = 100
+	for i := 1; i <= steps; i++ {
+		target := time.Duration(int64(horizon) * int64(i) / steps)
+		inst.Net.Run(target - inst.Net.Now())
+		tick(inst.Net.Now(), horizon, inst.Net.Fired())
+	}
 	return inst.Collect(horizon), nil
 }
 

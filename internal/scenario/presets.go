@@ -109,6 +109,8 @@ func presets() []Spec {
 			Flows:    gridNeighborFlows(32, 8),
 		},
 		random1024(),
+		random16k(),
+		clusteredBlocks100k(),
 		{
 			Name: "chain-4",
 			Description: "four stations on a 20 m string at 11 Mbit/s, one paced UDP flow relayed end to end " +
@@ -216,6 +218,71 @@ func random1024() Spec {
 	for i := 0; i < 8; i++ {
 		s.Flows = append(s.Flows, Flow{
 			Src: i * 1024 / 8, NearestDst: true,
+			Transport:  TransportUDP,
+			PacketSize: 512,
+			Interval:   Duration(20 * time.Millisecond),
+			Port:       uint16(9000 + i),
+		})
+	}
+	return s
+}
+
+// random16k builds the random-16k preset: random-1024 scaled 16× in
+// area at the same station density (one station per ~11 300 m²), run
+// under the city profile so each transmission's relevance radius covers
+// its neighborhood rather than the whole field, and on the calendar
+// queue — the backend built for this event population. Like
+// random-1024 the flows declare NearestDst, so re-seeding re-pairs them
+// with viable links.
+func random16k() Spec {
+	s := Spec{
+		Name: "random-16k",
+		Description: "16384 stations scattered uniformly over a 13.6×13.6 km field at 1 Mbit/s under the city " +
+			"profile, sixteen paced nearest-neighbor flows on the calendar queue: the 16k tier of the city-scale kernel",
+		Seed:      42,
+		Duration:  Duration(2 * time.Second),
+		Profile:   ProfileCity,
+		Scheduler: "calendar",
+		Topology:  Topology{Kind: KindRandomUniform, N: 16384, Width: 13600, Height: 13600},
+		MAC:       MACParams{RateMbps: 1},
+	}
+	for i := 0; i < 16; i++ {
+		s.Flows = append(s.Flows, Flow{
+			Src: i * 16384 / 16, NearestDst: true,
+			Transport:  TransportUDP,
+			PacketSize: 512,
+			Interval:   Duration(20 * time.Millisecond),
+			Port:       uint16(9000 + i),
+		})
+	}
+	return s
+}
+
+// clusteredBlocks100k builds the clustered-blocks-100k preset: a
+// 100 000-station city of 32×32 dense blocks (~98 stations within
+// 150 m of each block center) with ~850 m of empty street between
+// block centers, under the city profile on the calendar queue. Each
+// block is its own contention domain — PCS_range 190 m spans one block,
+// never its neighbor — and the block grid's consecutive station
+// assignment keeps index locality equal to spatial locality. The
+// thirty-two sources land one per 32nd block, so the flows sample
+// blocks across the whole city.
+func clusteredBlocks100k() Spec {
+	s := Spec{
+		Name: "clustered-blocks-100k",
+		Description: "100000 stations in 1024 dense city blocks over a 27.2×27.2 km field at 1 Mbit/s under the " +
+			"city profile, 32 paced nearest-neighbor flows on the calendar queue: the 100k tier of the city-scale kernel",
+		Seed:      42,
+		Duration:  Duration(time.Second),
+		Profile:   ProfileCity,
+		Scheduler: "calendar",
+		Topology: Topology{Kind: KindClusteredBlocks, N: 100000,
+			Rows: 32, Cols: 32, Width: 27200, Height: 27200, Radius: 150},
+		MAC: MACParams{RateMbps: 1},
+	}
+	for i := 0; i < 32; i++ {
+		s.Flows = append(s.Flows, Flow{
+			Src: i * 100000 / 32, NearestDst: true,
 			Transport:  TransportUDP,
 			PacketSize: 512,
 			Interval:   Duration(20 * time.Millisecond),

@@ -120,6 +120,11 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 	return summarize(spec, runs), nil
 }
 
+// SummarizeRuns aggregates already-collected runs of one spec into the
+// same Summary Replicate produces — the hook for callers that drive
+// the runs themselves (cmd/adhocsim's metered single runs).
+func SummarizeRuns(spec Spec, runs []Result) Summary { return summarize(spec, runs) }
+
 // summarize aggregates per-flow and per-station metrics over the runs
 // of one replicated scenario.
 func summarize(spec Spec, runs []Result) Summary {

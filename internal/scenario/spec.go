@@ -22,6 +22,7 @@ import (
 	"adhocsim/internal/mac"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/routing"
+	"adhocsim/internal/sim"
 )
 
 // Duration is a time.Duration that marshals to JSON as a human-readable
@@ -289,6 +290,10 @@ const (
 	// ProfileClear / ProfileDamp are the Figure 4 weather variants.
 	ProfileClear = "weather-clear"
 	ProfileDamp  = "weather-damp"
+	// ProfileCity is phy.CityProfile: urban propagation (exponent 3.5,
+	// σ = 2 dB) with a ~1.5 km relevance radius — the model the
+	// city-scale presets run under.
+	ProfileCity = "city"
 )
 
 // profileByName resolves a named profile; "" means ProfileDefault.
@@ -302,13 +307,15 @@ func profileByName(name string) (*phy.Profile, error) {
 		return phy.WeatherClear.Apply(phy.DefaultProfile()), nil
 	case ProfileDamp:
 		return phy.WeatherDamp.Apply(phy.DefaultProfile()), nil
+	case ProfileCity:
+		return phy.CityProfile(), nil
 	}
 	return nil, fmt.Errorf("scenario: unknown profile %q", name)
 }
 
 // ProfileNames lists the named radio profiles a Spec can reference.
 func ProfileNames() []string {
-	return []string{ProfileDefault, ProfileTestbed, ProfileClear, ProfileDamp}
+	return []string{ProfileDefault, ProfileTestbed, ProfileClear, ProfileDamp, ProfileCity}
 }
 
 // Spec is one complete declarative scenario.
@@ -358,6 +365,14 @@ type Spec struct {
 	// Ignored (sequential fallback) when Mobility is set, and stripped
 	// by Replicate (sweeps parallelize across seeds instead).
 	Parallel *ParallelParams `json:"parallel,omitempty"`
+
+	// Scheduler selects the event-queue backend every scheduler of the
+	// run uses: "heap" (the 4-ary reference backend, the default) or
+	// "calendar" (the calendar queue, O(1) near-future scheduling — the
+	// right pick at city-scale event populations). The backends are
+	// bit-identical; the sim package's cross-backend tests and the
+	// scenario toggle-equivalence tests insist on it.
+	Scheduler string `json:"scheduler,omitempty"`
 
 	// MACHook, when non-nil, is applied to every station's compiled
 	// mac.Config after overrides (station is the 0-based index). It is
@@ -499,6 +514,9 @@ func (s Spec) check() ([]phy.Position, []Flow, error) {
 			return nil, nil, fmt.Errorf("scenario: negative parallel worker count %d", p.Workers)
 		}
 	}
+	if _, err := sim.ParseKind(s.Scheduler); err != nil {
+		return nil, nil, fmt.Errorf("scenario: unknown scheduler %q (want heap or calendar)", s.Scheduler)
+	}
 	if s.Duration <= 0 {
 		return nil, nil, fmt.Errorf("scenario: non-positive duration %v", s.Duration.D())
 	}
@@ -539,6 +557,45 @@ func (s Spec) staticReachability(positions []phy.Position, flows []Flow) (*routi
 	return g, nil
 }
 
+// nearestIndexMin is the station count above which NearestDst
+// resolution searches a spatial hash instead of scanning every
+// position; below it the scan wins.
+const nearestIndexMin = 1024
+
+// nearestBruteOnly forces the reference linear scan in resolveFlows —
+// the path the nearest-pairing equivalence test compares the indexed
+// search against.
+var nearestBruteOnly bool
+
+// nearestStationIndexed finds the station nearest positions[src]
+// through a growing-radius query over ix. The over-approximating query
+// guarantees every station within the radius is returned, so once the
+// best candidate's distance is within the radius nothing closer can
+// hide outside it. Ties break toward the lowest index, exactly like
+// the reference scan (which keeps the first minimum it meets).
+func nearestStationIndexed(ix *phy.CellIndex, positions []phy.Position, src int) int {
+	center := positions[src]
+	r := ix.CellSize()
+	var buf []uint32
+	for {
+		buf = ix.AppendWithin(buf[:0], center, r)
+		dst, best := -1, math.Inf(1)
+		for _, v := range buf {
+			j := int(v)
+			if j == src {
+				continue
+			}
+			if d := phy.Dist(center, positions[j]); d < best || (d == best && j < dst) {
+				dst, best = j, d
+			}
+		}
+		if dst >= 0 && best <= r {
+			return dst
+		}
+		r *= 2
+	}
+}
+
 // resolveFlows returns the flow matrix with every NearestDst
 // destination replaced by the index of the station nearest that flow's
 // source in positions. The input slice is not mutated (check runs on a
@@ -546,6 +603,7 @@ func (s Spec) staticReachability(positions []phy.Position, flows []Flow) (*routi
 func resolveFlows(flows []Flow, positions []phy.Position) ([]Flow, error) {
 	resolved := flows
 	copied := false
+	var ix *phy.CellIndex
 	for i, f := range flows {
 		if !f.NearestDst {
 			continue
@@ -573,16 +631,33 @@ func resolveFlows(flows []Flow, positions []phy.Position) ([]Flow, error) {
 			resolved = append([]Flow(nil), flows...)
 			copied = true
 		}
-		dst, best := -1, math.Inf(1)
-		for j, p := range positions {
-			if j == f.Src {
-				continue
+		if len(positions) >= nearestIndexMin && !nearestBruteOnly {
+			if ix == nil {
+				// Density-scaled cells (~1 station per cell) keep both the
+				// build and each growing-radius probe O(earshot).
+				spanX, spanY := fieldSpans(positions)
+				cell := math.Max(spanX, spanY) / math.Sqrt(float64(len(positions)))
+				if !(cell > 0) {
+					cell = 1
+				}
+				ix = phy.NewCellIndex(cell)
+				for j, p := range positions {
+					ix.Insert(uint32(j), p)
+				}
 			}
-			if d := phy.Dist(positions[f.Src], p); d < best {
-				dst, best = j, d
+			resolved[i].Dst = nearestStationIndexed(ix, positions, f.Src)
+		} else {
+			dst, best := -1, math.Inf(1)
+			for j, p := range positions {
+				if j == f.Src {
+					continue
+				}
+				if d := phy.Dist(positions[f.Src], p); d < best {
+					dst, best = j, d
+				}
 			}
+			resolved[i].Dst = dst
 		}
-		resolved[i].Dst = dst
 		resolved[i].NearestDst = false
 	}
 	return resolved, nil

@@ -23,11 +23,19 @@ const (
 	// KindRandomUniform draws N stations uniformly over a Width×Height
 	// field, deterministically from the spec seed.
 	KindRandomUniform = "random-uniform"
+	// KindClusteredBlocks scatters N stations into Rows×Cols dense
+	// clusters ("city blocks") spread over a Width×Height field, each
+	// station within Radius meters of its block center. Stations are
+	// assigned to blocks consecutively — stations i and i+1 almost
+	// always share a block — so index locality is spatial locality,
+	// which is what the kernel's SoA hot state and the parallel
+	// partition both want at city scale.
+	KindClusteredBlocks = "clustered-blocks"
 )
 
 // TopologyKinds lists the supported generators.
 func TopologyKinds() []string {
-	return []string{KindExplicit, KindLine, KindGrid, KindRing, KindRandomUniform}
+	return []string{KindExplicit, KindLine, KindGrid, KindRing, KindRandomUniform, KindClusteredBlocks}
 }
 
 // Topology describes where the stations stand. Kind selects the
@@ -36,8 +44,9 @@ func TopologyKinds() []string {
 type Topology struct {
 	Kind string `json:"kind"`
 
-	// N is the station count for line, ring and random-uniform. For
-	// explicit it is implied by Positions, for grid by Rows×Cols.
+	// N is the station count for line, ring, random-uniform and
+	// clustered-blocks. For explicit it is implied by Positions, for
+	// grid by Rows×Cols.
 	N int `json:"n,omitempty"`
 
 	// Positions are explicit [x, y] station coordinates in meters.
@@ -49,11 +58,13 @@ type Topology struct {
 	// Spacing; the paper's 25/82.5/25 m four-station line uses this.
 	Spacings []float64 `json:"spacings,omitempty"`
 
-	// Rows and Cols shape the grid.
+	// Rows and Cols shape the grid, or the block grid of
+	// clustered-blocks.
 	Rows int `json:"rows,omitempty"`
 	Cols int `json:"cols,omitempty"`
 
-	// Radius is the ring's circumradius in meters.
+	// Radius is the ring's circumradius, or the cluster radius of
+	// clustered-blocks, in meters.
 	Radius float64 `json:"radius,omitempty"`
 
 	// Width and Height bound the random-uniform field in meters.
@@ -158,6 +169,40 @@ func (t Topology) Expand(seed uint64) ([]phy.Position, error) {
 		out := make([]phy.Position, t.N)
 		for i := range out {
 			out[i] = phy.Pos(rng.Float64()*t.Width, rng.Float64()*t.Height)
+		}
+		return out, nil
+
+	case KindClusteredBlocks:
+		if t.N < 1 {
+			return nil, fmt.Errorf("scenario: clustered-blocks topology needs n ≥ 1, got %d", t.N)
+		}
+		if t.Rows < 1 || t.Cols < 1 {
+			return nil, fmt.Errorf("scenario: clustered-blocks topology needs rows ≥ 1 and cols ≥ 1")
+		}
+		if t.Width <= 0 || t.Height <= 0 {
+			return nil, fmt.Errorf("scenario: clustered-blocks topology needs positive width and height")
+		}
+		if t.Radius <= 0 {
+			return nil, fmt.Errorf("scenario: clustered-blocks topology needs positive radius")
+		}
+		blocks := t.Rows * t.Cols
+		bw, bh := t.Width/float64(t.Cols), t.Height/float64(t.Rows)
+		rng := sim.NewSource(seed).Stream("scenario.topology")
+		out := make([]phy.Position, t.N)
+		for i := range out {
+			// Consecutive assignment: station i belongs to block
+			// i·blocks/N, so each block holds one contiguous index range
+			// (see the kind's doc comment). Draws are clamped to the
+			// field so positions stay non-negative whatever the radius.
+			b := i * blocks / t.N
+			cx := (float64(b%t.Cols) + 0.5) * bw
+			cy := (float64(b/t.Cols) + 0.5) * bh
+			x := cx + (2*rng.Float64()-1)*t.Radius
+			y := cy + (2*rng.Float64()-1)*t.Radius
+			out[i] = phy.Pos(
+				math.Min(math.Max(x, 0), t.Width),
+				math.Min(math.Max(y, 0), t.Height),
+			)
 		}
 		return out, nil
 	}

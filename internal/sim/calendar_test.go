@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The calendar backend's correctness claim is total: both backends pop
+// the unique least entry of the same (at, sub, seq) order, so any
+// script of scheduler operations must produce the identical fire
+// sequence and Fired() count. The tests here drive that claim with a
+// byte-coded op interpreter shared by a seeded property test and a fuzz
+// target: every byte stream is a program of At/After/Cancel/Reschedule/
+// InjectAt/Step/RunUntil/Reset operations (including callbacks that
+// schedule follow-up chains mid-Step, the case that exercises inserts
+// into the bucket the wheel cursor is standing on).
+
+// fireRec is one fired event in a script run: the clock it fired at and
+// the unique id its schedule op minted.
+type fireRec struct {
+	at time.Duration
+	id int
+}
+
+// scriptEnv is the mutable state of one interpreted run.
+type scriptEnv struct {
+	s     *Scheduler
+	trace []fireRec
+	live  []Event
+	id    int
+}
+
+// chainAction is a pooled self-rescheduling action: each firing records
+// itself and re-arms gap later, hops times. It exercises AtAction and
+// scheduling from inside Step.
+type chainAction struct {
+	env  *scriptEnv
+	id   int
+	hops int
+	gap  time.Duration
+}
+
+func (a *chainAction) Act() {
+	a.env.trace = append(a.env.trace, fireRec{at: a.env.s.Now(), id: a.id})
+	if a.hops > 0 {
+		a.hops--
+		a.env.s.AfterAction(a.gap, a)
+	}
+}
+
+// interpretOps runs one byte-coded script against a fresh scheduler of
+// the given kind and returns the fire trace and final Fired() count.
+// Every branch and operand derives only from the byte stream and the
+// scheduler's (deterministic) observable state, so two backends fed the
+// same bytes execute the same op sequence.
+func interpretOps(kind Kind, data []byte) ([]fireRec, uint64) {
+	env := &scriptEnv{s: NewScheduler()}
+	env.s.SetKind(kind)
+	s := env.s
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	u16 := func() time.Duration {
+		return time.Duration(uint64(next()) | uint64(next())<<8)
+	}
+	record := func(id int) func() {
+		return func() { env.trace = append(env.trace, fireRec{at: s.Now(), id: id}) }
+	}
+	for pos < len(data) {
+		switch next() % 12 {
+		case 0, 1, 2: // near-future closure
+			id := env.id
+			env.id++
+			env.live = append(env.live, s.At(s.Now()+u16()*time.Microsecond, record(id)))
+		case 3: // far future: lands in the calendar's overflow band
+			id := env.id
+			env.id++
+			env.live = append(env.live, s.After(u16()*10*time.Millisecond, record(id)))
+		case 4: // same-instant tie (FIFO order must hold)
+			id := env.id
+			env.id++
+			env.live = append(env.live, s.At(s.Now(), record(id)))
+		case 5: // pooled self-rescheduling chain
+			a := &chainAction{env: env, id: env.id, hops: int(next() % 5), gap: (1 + u16()) * time.Microsecond}
+			env.id++
+			env.live = append(env.live, s.AfterAction(u16()*time.Microsecond, a))
+		case 6: // cancel a random outstanding handle (possibly stale)
+			if len(env.live) > 0 {
+				s.Cancel(env.live[int(u16())%len(env.live)])
+			}
+		case 7: // reschedule a random outstanding handle
+			if len(env.live) > 0 {
+				i := int(u16()) % len(env.live)
+				id := env.id
+				env.id++
+				env.live[i] = s.Reschedule(env.live[i], s.Now()+u16()*time.Microsecond, record(id))
+			}
+		case 8: // inject an inter-region message (sub carries sentAt)
+			id := env.id
+			env.id++
+			at := s.Now() + u16()*time.Microsecond
+			back := u16() * time.Microsecond
+			sentAt := s.Now() - back
+			if sentAt < 0 {
+				sentAt = 0
+			}
+			s.InjectAt(at, sentAt, &chainAction{env: env, id: id})
+		case 9: // step a few events
+			for i := byte(0); i < next()%8; i++ {
+				s.Step()
+			}
+		case 10: // run a bounded horizon
+			s.RunUntil(s.Now() + u16()*time.Microsecond)
+		case 11: // occasional full reset mid-script
+			if next()%4 == 0 {
+				s.Reset()
+				env.live = env.live[:0]
+			}
+		}
+	}
+	for i := 0; i < 1<<20 && s.Step(); i++ {
+	}
+	return env.trace, s.Fired()
+}
+
+// diffTraces fails the test at the first divergence between two runs.
+func diffTraces(t *testing.T, heap, cal []fireRec, heapFired, calFired uint64) {
+	t.Helper()
+	if heapFired != calFired {
+		t.Errorf("Fired(): heap %d, calendar %d", heapFired, calFired)
+	}
+	n := len(heap)
+	if len(cal) != n {
+		t.Errorf("trace length: heap %d, calendar %d", n, len(cal))
+		if len(cal) < n {
+			n = len(cal)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if heap[i] != cal[i] {
+			t.Fatalf("fire %d: heap (%v, id %d), calendar (%v, id %d)",
+				i, heap[i].at, heap[i].id, cal[i].at, cal[i].id)
+		}
+	}
+}
+
+// TestCalendarMatchesHeap is the cross-backend property test: random
+// op scripts, identical fire order and Fired() counts on both backends.
+func TestCalendarMatchesHeap(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 200+rng.Intn(2000))
+		rng.Read(data)
+		heapTrace, heapFired := interpretOps(KindHeap, data)
+		calTrace, calFired := interpretOps(KindCalendar, data)
+		diffTraces(t, heapTrace, calTrace, heapFired, calFired)
+		if t.Failed() {
+			t.Fatalf("seed %d diverged", seed)
+		}
+	}
+}
+
+// FuzzCalendarHeapEquivalence lets the fuzzer search for an op script
+// on which the backends disagree.
+func FuzzCalendarHeapEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0xff, 9, 3, 3, 0xa0, 0x0f, 10, 0xff, 0xff})
+	f.Add([]byte{3, 0xff, 0xff, 3, 0x10, 0x00, 11, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	rng := rand.New(rand.NewSource(7))
+	seedScript := make([]byte, 512)
+	rng.Read(seedScript)
+	f.Add(seedScript)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			t.Skip("script too long")
+		}
+		heapTrace, heapFired := interpretOps(KindHeap, data)
+		calTrace, calFired := interpretOps(KindCalendar, data)
+		diffTraces(t, heapTrace, calTrace, heapFired, calFired)
+	})
+}
+
+// TestCalendarOverflowBand pins the band path directly: events far
+// beyond any initial wheel window must still fire in time order, with
+// cancels honored, across a wheel re-base per idle gap.
+func TestCalendarOverflowBand(t *testing.T) {
+	s := NewScheduler()
+	s.SetKind(KindCalendar)
+	var got []time.Duration
+	times := []time.Duration{
+		7 * time.Hour, 3 * time.Second, 50 * time.Millisecond,
+		2 * time.Hour, time.Microsecond, 9 * time.Minute,
+	}
+	var cancel Event
+	for i, at := range times {
+		at := at
+		e := s.At(at, func() { got = append(got, at) })
+		if i == 3 { // 2h entry: cancelled below
+			cancel = e
+		}
+	}
+	s.Cancel(cancel)
+	s.Run()
+	want := []time.Duration{time.Microsecond, 50 * time.Millisecond, 3 * time.Second, 9 * time.Minute, 7 * time.Hour}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len() = %d after drain", s.Len())
+	}
+}
+
+// TestSetKindGuards pins the backend-switch contract: switching with
+// events pending panics, switching an idle scheduler round-trips.
+func TestSetKindGuards(t *testing.T) {
+	s := NewScheduler()
+	if s.Kind() != KindHeap {
+		t.Fatalf("default kind = %v", s.Kind())
+	}
+	s.SetKind(KindCalendar)
+	if s.Kind() != KindCalendar {
+		t.Fatalf("kind after SetKind = %v", s.Kind())
+	}
+	s.After(time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetKind with pending events did not panic")
+		}
+	}()
+	s.SetKind(KindHeap)
+}
+
+// TestParseKind pins the spec/CLI spellings.
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+		err  bool
+	}{
+		{"", KindHeap, false},
+		{"heap", KindHeap, false},
+		{"calendar", KindCalendar, false},
+		{"ladder", 0, true},
+	} {
+		got, err := ParseKind(tc.in)
+		if (err != nil) != tc.err || (!tc.err && got != tc.want) {
+			t.Errorf("ParseKind(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+// TestCalendarReset checks that a reset calendar scheduler replays a
+// fresh scheduler's run exactly, arena reuse included.
+func TestCalendarReset(t *testing.T) {
+	script := func(s *Scheduler) []fireRec {
+		var trace []fireRec
+		for i := 0; i < 200; i++ {
+			i := i
+			s.At(time.Duration(i%17)*time.Millisecond+time.Duration(i)*time.Microsecond,
+				func() { trace = append(trace, fireRec{at: s.Now(), id: i}) })
+		}
+		s.Run()
+		return trace
+	}
+	s := NewScheduler()
+	s.SetKind(KindCalendar)
+	first := script(s)
+	s.Reset()
+	second := script(s)
+	if len(first) != len(second) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("fire %d differs after Reset: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// benchmarkSchedulerHold measures the steady-state pop/push cycle both
+// backends spend their lives in: n pending timers, each firing and
+// re-arming a pseudo-random small delay ahead.
+func benchmarkSchedulerHold(b *testing.B, kind Kind, n int) {
+	s := NewScheduler()
+	s.SetKind(kind)
+	rng := rand.New(rand.NewSource(1))
+	var arm func()
+	arm = func() {
+		s.After(time.Duration(1+rng.Intn(2000))*time.Microsecond, arm)
+	}
+	for i := 0; i < n; i++ {
+		arm()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkSchedulerHeap4k(b *testing.B)     { benchmarkSchedulerHold(b, KindHeap, 4096) }
+func BenchmarkSchedulerCalendar4k(b *testing.B) { benchmarkSchedulerHold(b, KindCalendar, 4096) }
+func BenchmarkSchedulerHeap64k(b *testing.B)    { benchmarkSchedulerHold(b, KindHeap, 65536) }
+func BenchmarkSchedulerCalendar64k(b *testing.B) {
+	benchmarkSchedulerHold(b, KindCalendar, 65536)
+}

@@ -34,11 +34,64 @@ func (s *Source) Reseed(seed uint64) { s.seed = seed }
 // Stream twice with the same name returns identically-seeded (but
 // separate) streams.
 func (s *Source) Stream(name string) *rand.Rand {
+	return s.StreamFor(KeyFor(name))
+}
+
+// A StreamKey is a stream name in pre-hashed form. Subsystems that
+// re-derive their stream on every arena reset (one per station, every
+// replication) hold the key from construction so the reset skips the
+// name formatting and hashing.
+type StreamKey uint64
+
+// KeyFor returns the key naming name: StreamFor(KeyFor(name)) and
+// Stream(name) yield identically-seeded streams.
+func KeyFor(name string) StreamKey {
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	mixed := splitmix64(s.seed ^ h.Sum64())
-	return rand.New(rand.NewSource(int64(mixed)))
+	return StreamKey(h.Sum64())
 }
+
+// StreamFor returns the stream named by k.
+func (s *Source) StreamFor(k StreamKey) *rand.Rand {
+	return rand.New(&lazySource{seed: s.streamSeed(k)})
+}
+
+// ReseedStream re-roots r — previously returned by Stream or StreamFor
+// — to the stream named by k under the source's current root seed: the
+// allocation-free equivalent of replacing r with StreamFor(k).
+func (s *Source) ReseedStream(r *rand.Rand, k StreamKey) {
+	r.Seed(s.streamSeed(k))
+}
+
+func (s *Source) streamSeed(k StreamKey) int64 {
+	return int64(splitmix64(s.seed ^ uint64(k)))
+}
+
+// lazySource defers math/rand's generator seeding — an expensive
+// many-hundred-word table initialization — until the stream's first
+// draw. A city-scale network derives one backoff stream per station at
+// build and again at every arena reset, but only the handful of
+// stations that actually contend ever draw from theirs; eager seeding
+// made that table fill the dominant cost of Build and Reset at 16k+
+// stations. The wrapper forwards to the real generator, so a stream
+// that is drawn from yields exactly the eager stream, bit for bit. It
+// implements rand.Source64 just as the underlying generator does,
+// keeping rand.Rand on the same internal code paths either way.
+type lazySource struct {
+	seed int64
+	src  rand.Source64
+}
+
+func (l *lazySource) force() rand.Source64 {
+	if l.src == nil {
+		l.src = rand.NewSource(l.seed).(rand.Source64)
+	}
+	return l.src
+}
+
+func (l *lazySource) Int63() int64    { return l.force().Int63() }
+func (l *lazySource) Uint64() uint64  { return l.force().Uint64() }
+func (l *lazySource) Seed(seed int64) { l.seed, l.src = seed, nil }
 
 // Hash64 deterministically mixes the root seed with the given words.
 // It is the basis for stateless stochastic processes such as per-link
@@ -59,9 +112,19 @@ func (s *Source) HashFloat01(words ...uint64) float64 {
 
 // HashNorm returns a standard normal deviate that is a pure function of
 // (seed, words): the Box-Muller transform applied to two hashed uniforms.
+// The two uniforms are Hash64(words..., C1) and Hash64(words..., C2) for
+// two mixing constants; the shared words prefix of the chain is folded
+// once and extended per constant, which is arithmetic-identical to the
+// two full Hash64 calls while keeping the variadic slice on the stack —
+// this runs once per (link, fade-epoch) on the medium's hot path, where
+// an append-per-call heap allocation used to dominate the profile.
 func (s *Source) HashNorm(words ...uint64) float64 {
-	u1 := s.HashFloat01(append(words, 0x9e3779b97f4a7c15)...)
-	u2 := s.HashFloat01(append(words, 0xbf58476d1ce4e5b9)...)
+	x := s.seed
+	for _, w := range words {
+		x = splitmix64(x ^ w)
+	}
+	u1 := float64(splitmix64(splitmix64(x^0x9e3779b97f4a7c15))>>11) / (1 << 53)
+	u2 := float64(splitmix64(splitmix64(x^0xbf58476d1ce4e5b9))>>11) / (1 << 53)
 	if u1 < 1e-300 {
 		u1 = 1e-300
 	}

@@ -62,8 +62,12 @@ func (e Event) Pending() bool {
 type slot struct {
 	gen     uint64
 	heapIdx int32
-	fn      func()
-	act     Action
+	// bucket locates the entry for the calendar backend: a wheel bucket
+	// index, calOverflow for the sorted band, calNowhere when not
+	// pending. The heap backend leaves it untouched (heapIdx suffices).
+	bucket int32
+	fn     func()
+	act    Action
 }
 
 // heapEntry is one heap element. The ordering keys (at, sub, seq) live
@@ -101,6 +105,7 @@ type Scheduler struct {
 	slots []slot
 	free  []int32     // recycled slot indices
 	heap  []heapEntry // 4-ary heap ordered by (at, seq)
+	cal   *calendar   // non-nil selects the calendar backend (SetKind)
 	seq   uint64
 	fired uint64
 }
@@ -112,7 +117,12 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 func (s *Scheduler) Now() time.Duration { return s.now }
 
 // Len returns the number of pending events.
-func (s *Scheduler) Len() int { return len(s.heap) }
+func (s *Scheduler) Len() int {
+	if s.cal != nil {
+		return s.cal.count()
+	}
+	return len(s.heap)
+}
 
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
@@ -170,11 +180,20 @@ func (s *Scheduler) schedule(t time.Duration, fn func(), act Action) Event {
 	sl := &s.slots[idx]
 	sl.fn = fn
 	sl.act = act
-	sl.heapIdx = int32(len(s.heap))
-	s.heap = append(s.heap, heapEntry{at: t, sub: uint64(s.now) << 1, seq: s.seq, idx: idx})
+	s.push(heapEntry{at: t, sub: uint64(s.now) << 1, seq: s.seq, idx: idx})
 	s.seq++
-	s.siftUp(int(sl.heapIdx))
 	return Event{s: s, idx: idx, gen: sl.gen, at: t}
+}
+
+// push files an entry into the active backend's queue structure.
+func (s *Scheduler) push(e heapEntry) {
+	if s.cal != nil {
+		s.cal.insert(s, e)
+		return
+	}
+	s.slots[e.idx].heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap) - 1)
 }
 
 // InjectAt schedules a.Act() at absolute time t on behalf of an event
@@ -207,16 +226,25 @@ func (s *Scheduler) InjectAt(t, sentAt time.Duration, a Action) {
 	sl := &s.slots[idx]
 	sl.fn = nil
 	sl.act = a
-	sl.heapIdx = int32(len(s.heap))
-	s.heap = append(s.heap, heapEntry{at: t, sub: uint64(sentAt)<<1 | 1, seq: s.seq, idx: idx})
+	s.push(heapEntry{at: t, sub: uint64(sentAt)<<1 | 1, seq: s.seq, idx: idx})
 	s.seq++
-	s.siftUp(int(sl.heapIdx))
 }
 
 // PeekAt returns the timestamp of the earliest pending event, or false
 // when the queue is empty. The parallel kernel publishes it as the
 // region's conservative clock.
 func (s *Scheduler) PeekAt() (time.Duration, bool) {
+	if s.cal != nil {
+		c := s.cal
+		bucket, pos, ok := c.findMin(s)
+		if !ok {
+			return 0, false
+		}
+		if bucket == calOverflow {
+			return c.overflow[pos].at, true
+		}
+		return c.buckets[bucket][pos].at, true
+	}
 	if len(s.heap) == 0 {
 		return 0, false
 	}
@@ -236,6 +264,11 @@ func (s *Scheduler) Cancel(e Event) {
 		panic("sim: Cancel of an event from a different scheduler")
 	}
 	if s.slots[e.idx].gen != e.gen {
+		return
+	}
+	if s.cal != nil {
+		s.cal.remove(s, e.idx)
+		s.release(e.idx)
 		return
 	}
 	s.removeHeap(int(s.slots[e.idx].heapIdx))
@@ -281,6 +314,9 @@ func (s *Scheduler) removeHeap(h int) {
 // Step executes the earliest pending event, advancing the clock to its
 // timestamp. It returns false when the queue is empty.
 func (s *Scheduler) Step() bool {
+	if s.cal != nil {
+		return s.calStep()
+	}
 	if len(s.heap) == 0 {
 		return false
 	}
@@ -314,6 +350,10 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, s.now))
 	}
+	if s.cal != nil {
+		s.calRunUntil(t)
+		return
+	}
 	for len(s.heap) > 0 && s.heap[0].at <= t {
 		s.Step()
 	}
@@ -338,6 +378,9 @@ func (s *Scheduler) Run() {
 // never on slot indices.
 func (s *Scheduler) Reset() {
 	s.heap = s.heap[:0]
+	if s.cal != nil {
+		s.cal.reset()
+	}
 	s.free = s.free[:0]
 	for i := range s.slots {
 		sl := &s.slots[i]

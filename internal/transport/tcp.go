@@ -110,7 +110,8 @@ type connKey struct {
 type TCP struct {
 	sched *sim.Scheduler
 	stack *network.Stack
-	rng   *rand.Rand
+	rng    *rand.Rand
+	rngKey sim.StreamKey // pre-hashed stream name, for allocation-free Reset
 	mss   int
 
 	conns     map[connKey]*Conn
@@ -128,10 +129,12 @@ func NewTCP(sched *sim.Scheduler, src *sim.Source, stack *network.Stack, mss int
 	if mss <= 0 {
 		mss = DefaultMSS
 	}
+	key := sim.KeyFor("tcp.iss." + stack.Addr().String())
 	t := &TCP{
 		sched:     sched,
 		stack:     stack,
-		rng:       src.Stream("tcp.iss." + stack.Addr().String()),
+		rng:       src.StreamFor(key),
+		rngKey:    key,
 		mss:       mss,
 		conns:     make(map[connKey]*Conn),
 		listeners: make(map[uint16]func(*Conn)),
@@ -151,7 +154,7 @@ func (t *TCP) Listen(port uint16, accept func(*Conn)) { t.listeners[port] = acce
 // network. The owning scheduler must have been Reset first, so the
 // discarded connections' timers are already gone.
 func (t *TCP) Reset(src *sim.Source) {
-	t.rng = src.Stream("tcp.iss." + t.stack.Addr().String())
+	src.ReseedStream(t.rng, t.rngKey)
 	clear(t.conns)
 	clear(t.listeners)
 	t.nextPort = 49152
