@@ -52,7 +52,8 @@ func main() {
 	progress := flag.Bool("progress", false, "stream run progress to stderr")
 	scen := flag.String("scenario", "", "run a declarative scenario: a spec .json file or a preset name (see -list-scenarios)")
 	sched := flag.String("scheduler", "", "event-queue backend for -scenario runs: heap or calendar (default: the spec's \"scheduler\" block, else heap)")
-	parRegions := flag.String("parallel-regions", "", "run -scenario on the space-partitioned parallel kernel: COLSxROWS (e.g. 4x4) or auto; single-replication runs only")
+	parRegions := flag.String("parallel-regions", "", "run -scenario on the space-partitioned parallel kernel: COLSxROWS (e.g. 4x4) or auto; with -replications > 1 the worker budget splits between replications and regions")
+	partitioner := flag.String("partitioner", "", "cut-line placement for the parallel region grid: balanced (default) or uniform")
 	listScen := flag.Bool("list-scenarios", false, "list the built-in scenario presets and exit")
 	rebuild := flag.Bool("rebuild-each-rep", false, "verification: rebuild the network for every scenario replication instead of re-seeding each worker's arena (results are identical, only slower)")
 	routingProto := flag.String("routing", "static", "route control plane for -exp chain: static or dsdv")
@@ -89,11 +90,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "adhocsim: -%s has no effect in -scenario mode\n", f.Name)
 			}
 		})
-		runScenario(*scen, *reps, *workers, *jsonOut, *progress, seedOv, durOv, *parRegions, *sched)
+		runScenario(*scen, *reps, *workers, *jsonOut, *progress, seedOv, durOv, *parRegions, *partitioner, *sched)
 		return
 	}
 	if *parRegions != "" {
 		fmt.Fprintln(os.Stderr, "adhocsim: -parallel-regions has no effect outside -scenario mode")
+	}
+	if *partitioner != "" {
+		fmt.Fprintln(os.Stderr, "adhocsim: -partitioner has no effect outside -scenario mode")
 	}
 	if *sched != "" {
 		fmt.Fprintln(os.Stderr, "adhocsim: -scheduler has no effect outside -scenario mode")
@@ -311,9 +315,9 @@ func listScenarios() {
 
 // runScenario resolves ref as a spec file (when it exists or ends in
 // .json) or a preset name, applies any explicit -seed/-dur/-scheduler
-// overrides and the -parallel-regions kernel selection, runs it with
-// replication, and prints the summary.
-func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *uint64, dur *time.Duration, parRegions, sched string) {
+// overrides and the -parallel-regions/-partitioner kernel selection,
+// runs it with replication, and prints the summary.
+func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *uint64, dur *time.Duration, parRegions, partitioner, sched string) {
 	spec, err := loadScenario(ref)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
@@ -329,17 +333,35 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 		spec.Scheduler = sched
 	}
 	if parRegions != "" {
-		par, err := parseParallelRegions(parRegions, workers)
+		// With one replication the whole -workers budget is the
+		// region-worker count; with a sweep, leave Workers unset so
+		// Replicate's splitWorkers divides the budget between
+		// replication and region workers instead of oversubscribing.
+		regionWorkers := workers
+		if reps > 1 {
+			regionWorkers = 0
+		}
+		par, err := parseParallelRegions(parRegions, regionWorkers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
 			exit(2)
 		}
-		if reps > 1 {
-			// A sweep parallelizes across seeds instead (see
-			// scenario.Replicate); warn rather than silently downgrade.
-			fmt.Fprintln(os.Stderr, "adhocsim: -parallel-regions is ignored with -replications > 1 (sweeps parallelize across seeds)")
-		}
 		spec.Parallel = par
+	}
+	if partitioner != "" {
+		if spec.Parallel == nil {
+			fmt.Fprintln(os.Stderr, "adhocsim: -partitioner has no effect without a parallel block (-parallel-regions or the spec's \"parallel\")")
+		} else {
+			spec.Parallel.Partitioner = partitioner
+		}
+	}
+	if progress {
+		// Surface the chosen execution plan up front: the fitted region
+		// grid and how the worker budget splits between replications and
+		// regions. Nothing prints for sequential runs.
+		if plan, err := scenario.PlanExec(spec, reps, workers); err == nil && plan != nil {
+			fmt.Fprintln(os.Stderr, "adhocsim: "+plan.Plan())
+		}
 	}
 	var sum scenario.Summary
 	if progress && reps <= 1 {
@@ -350,7 +372,7 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
 			exit(2)
 		}
-		res, err := scenario.RunProgress(spec, func(now, horizon time.Duration, fired uint64) {
+		res, es, err := scenario.RunProgressExec(spec, func(now, horizon time.Duration, fired uint64) {
 			fmt.Fprintf(os.Stderr, "\rsim %v / %v  (%d events)", now.Truncate(time.Millisecond), horizon, fired)
 			if now >= horizon {
 				fmt.Fprintln(os.Stderr)
@@ -361,6 +383,7 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 			exit(1)
 		}
 		sum = scenario.SummarizeRuns(spec, []scenario.Result{res})
+		sum.Exec = es
 	} else {
 		var prog func(done, total int)
 		if progress {
@@ -383,8 +406,9 @@ func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *ui
 
 // parseParallelRegions turns a -parallel-regions value into the spec's
 // parallel block: "auto" lets the builder size the grid from the field
-// extent, "COLSxROWS" forces the shape. The -workers flag doubles as
-// the region-worker count in this mode (results never depend on it).
+// extent, "COLSxROWS" forces the shape. workers pins the region-worker
+// count when non-zero (results never depend on it); zero lets the
+// sweep's splitWorkers derive it from the budget.
 func parseParallelRegions(v string, workers int) (*scenario.ParallelParams, error) {
 	par := &scenario.ParallelParams{Workers: workers}
 	if strings.EqualFold(v, "auto") {

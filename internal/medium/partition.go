@@ -15,12 +15,15 @@ import (
 // This file is the medium's half of the space-partitioned parallel
 // execution mode (sim.Exec). The field is partitioned by a
 // phy.RegionGrid; a transmission's receiver set may span any number of
-// regions, and each remote region's slice crosses the boundary as a
-// pair of exec messages timestamped one propagation bound out — the
-// minimum any cross-region influence costs, which is what the
+// regions, and each remote region's slice crosses the boundary as ONE
+// exec message — the leading edge, timestamped one propagation bound
+// out, the minimum any cross-region influence costs, which is what the
 // conservative lookahead (phy.MinPropagationDelay over the regions'
 // separation and the field's relevance radius) rests on; see
-// internal/phy/lookahead.go for the derivation.
+// internal/phy/lookahead.go for the derivation. The trailing edge never
+// crosses the boundary itself: the lead schedules it locally on the
+// destination scheduler once it arrives (the frame end is strictly
+// after the frame start, so it is always a local-future event there).
 //
 // Partitioned state discipline: everything a region's events touch is
 // either owned by that region (its radios' receive chains, its shard's
@@ -163,20 +166,25 @@ func (m *Medium) FoldCounters() {
 
 // txSegment is the remote-region slice of one transmission's receiver
 // set: targets[lo:hi] all live in one region other than the
-// transmitter's. Its lead and trail actions travel to that region as
-// exec messages and run on its scheduler; shard is that region's, for
-// the final descriptor release.
+// transmitter's. Only its lead action travels to that region as an exec
+// message; the lead then schedules the trailing edge locally on the
+// destination scheduler (sched, at trailAt) — one cross-region message
+// per segment instead of two, halving the executor's boundary traffic
+// and canonical-sort load. shard is the destination region's, for the
+// final descriptor release.
 type txSegment struct {
-	tx     *transmission
-	lo, hi int32
-	shard  *medShard
-	lead   segLeadAction
-	trail  segTrailAction
+	tx      *transmission
+	lo, hi  int32
+	shard   *medShard
+	sched   *sim.Scheduler
+	trailAt time.Duration
+	lead    segLeadAction
+	trail   segTrailAction
 }
 
-// segLeadAction is the remote leading edge. Implements sim.Action.
-type segLeadAction struct{ s *txSegment }
-
+// segLeadAction is the remote leading edge: it starts the segment's
+// receivers and schedules the trailing edge locally. Implements
+// sim.Action.
 func (a *segLeadAction) Act() {
 	s := a.s
 	tx := s.tx
@@ -184,7 +192,15 @@ func (a *segLeadAction) Act() {
 		t := &tx.targets[i]
 		t.rx.arrivalStart(tx, t.dbm, t.mw)
 	}
+	// trailAt is strictly after the lead (airtime is positive), so this
+	// schedules into the region's own future — no cross-region timing
+	// constraint applies, and a trailing edge past one Run's horizon
+	// simply stays pending for the next Run, like any local event.
+	s.sched.AtAction(s.trailAt, &s.trail)
 }
+
+// segLeadAction/segTrailAction carry their segment.
+type segLeadAction struct{ s *txSegment }
 
 // segTrailAction is the remote trailing edge: it finishes the segment's
 // receivers and drops the segment's hold on the descriptor.
@@ -228,7 +244,8 @@ func (tx *transmission) finishOn(sh *medShard) {
 // the receiver set is split into per-region segments. The transmitter's
 // own region is dispatched on the local scheduler exactly like the
 // sequential path; every other region's segment crosses the boundary as
-// a pair of exec messages timestamped one propagation bound out.
+// one exec message (the leading edge, timestamped one propagation bound
+// out), which schedules the trailing edge locally on arrival.
 func (m *Medium) partTransmit(r *Radio, f *frame.Frame, rate phy.Rate) time.Duration {
 	if m.index == nil || m.indexDirty {
 		panic("medium: partitioned transmit without a live spatial index")
@@ -329,12 +346,12 @@ func (m *Medium) partTransmit(r *Radio, f *frame.Frame, rate phy.Rate) time.Dura
 		if reg == r.reg {
 			tx.lo, tx.hi = int32(i), int32(j)
 		} else {
-			tx.segs = append(tx.segs, txSegment{tx: tx, lo: int32(i), hi: int32(j), shard: &m.shards[reg]})
+			tx.segs = append(tx.segs, txSegment{tx: tx, lo: int32(i), hi: int32(j),
+				shard: &m.shards[reg], sched: m.ex.Sched(int(reg)), trailAt: now + air + phy.PropDelay})
 			seg := &tx.segs[len(tx.segs)-1]
 			seg.lead.s = seg
 			seg.trail.s = seg
 			m.ex.Send(int(r.reg), int(reg), now+phy.PropDelay, &seg.lead)
-			m.ex.Send(int(r.reg), int(reg), now+air+phy.PropDelay, &seg.trail)
 		}
 		i = j
 	}

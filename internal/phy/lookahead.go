@@ -3,6 +3,7 @@ package phy
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -48,10 +49,28 @@ import (
 // are numbered row-major: region = row·Cols + col. Any grid is sound
 // (see the derivation above); its shape only moves the
 // performance trade-off between load balance and cross-region traffic.
+//
+// Two layouts share the type. The uniform layout (XCuts/YCuts nil)
+// divides the bounding box into equal cells of CellW×CellH — the
+// reference partitioner, FitRegionGrid. The balanced layout carries
+// explicit interior cut lines instead (XCuts has Cols−1 ascending x
+// coordinates, YCuts Rows−1 y coordinates), placed wherever the
+// partitioner wants them — FitBalancedRegionGrid puts them at station
+// count quantiles. Either way every region is an axis-aligned rectangle
+// and neighbors share a cut line, which is all the lookahead derivation
+// above needs: MinRegionDist measures the true gap between the two
+// rectangles, and the closure prices influence chains across it.
 type RegionGrid struct {
 	MinX, MinY   float64
 	CellW, CellH float64
 	Cols, Rows   int
+
+	// XCuts/YCuts are the interior cut lines of a balanced layout, in
+	// ascending order (len Cols−1 and Rows−1). nil selects the uniform
+	// arithmetic over CellW/CellH. Cuts may coincide (a zero-width
+	// region) — sound, because a zero gap only tightens the lookahead
+	// to the unconditional single propagation bound.
+	XCuts, YCuts []float64
 }
 
 // Regions returns the number of regions in the grid.
@@ -61,12 +80,15 @@ func (g RegionGrid) Regions() int { return g.Cols * g.Rows }
 // fitted bounding box clamp to the border regions, so a position
 // slightly off the field never indexes out of range.
 func (g RegionGrid) RegionOf(p Position) int {
-	col := 0
-	if g.CellW > 0 {
+	var col, row int
+	if g.XCuts != nil {
+		col = sort.SearchFloat64s(g.XCuts, p.X)
+	} else if g.CellW > 0 {
 		col = int(math.Floor((p.X - g.MinX) / g.CellW))
 	}
-	row := 0
-	if g.CellH > 0 {
+	if g.YCuts != nil {
+		row = sort.SearchFloat64s(g.YCuts, p.Y)
+	} else if g.CellH > 0 {
 		row = int(math.Floor((p.Y - g.MinY) / g.CellH))
 	}
 	if col < 0 {
@@ -107,27 +129,66 @@ func (g RegionGrid) HopDist(a, b int) int {
 func (g RegionGrid) MinRegionDist(a, b int) float64 {
 	ax, ay := a%g.Cols, a/g.Cols
 	bx, by := b%g.Cols, b/g.Cols
-	dx := math.Abs(float64(ax-bx)) - 1
-	dy := math.Abs(float64(ay-by)) - 1
-	if dx < 0 {
-		dx = 0
-	}
-	if dy < 0 {
-		dy = 0
-	}
-	return math.Hypot(dx*g.CellW, dy*g.CellH)
+	return math.Hypot(axisGap(ax, bx, g.XCuts, g.CellW), axisGap(ay, by, g.YCuts, g.CellH))
 }
 
-// MinEdge returns the smaller region edge length in meters.
-func (g RegionGrid) MinEdge() float64 {
-	if g.CellW < g.CellH {
-		return g.CellW
+// axisGap is the one-axis separation between region slots a and b: the
+// distance between the facing cut lines for a balanced layout, whole
+// cells for the uniform one. Same or adjacent slots touch (gap zero).
+func axisGap(a, b int, cuts []float64, cell float64) float64 {
+	if a > b {
+		a, b = b, a
 	}
-	return g.CellH
+	if b-a <= 1 {
+		return 0
+	}
+	if cuts != nil {
+		// Slot k spans (cuts[k-1], cuts[k]]: the gap between a and b is
+		// from a's upper cut to b's lower cut. Cuts ascend, so it is
+		// non-negative (coincident cuts give a zero gap, which only
+		// tightens the lookahead toward the unconditional bound).
+		return cuts[b-1] - cuts[a]
+	}
+	return float64(b-a-1) * cell
+}
+
+// MinEdge returns the smallest region edge length in meters.
+func (g RegionGrid) MinEdge() float64 {
+	w, h := g.CellW, g.CellH
+	if g.XCuts != nil {
+		w = minSpan(g.XCuts, g.MinX, g.MinX+g.CellW*float64(g.Cols))
+	}
+	if g.YCuts != nil {
+		h = minSpan(g.YCuts, g.MinY, g.MinY+g.CellH*float64(g.Rows))
+	}
+	if w < h {
+		return w
+	}
+	return h
+}
+
+// minSpan returns the narrowest slot width of a cut sequence bounded by
+// lo and hi (for balanced layouts CellW/CellH hold the mean widths, so
+// the outer bounds reconstruct the bounding box).
+func minSpan(cuts []float64, lo, hi float64) float64 {
+	prev, minW := lo, math.Inf(1)
+	for _, c := range cuts {
+		if w := c - prev; w < minW {
+			minW = w
+		}
+		prev = c
+	}
+	if w := hi - prev; w < minW {
+		minW = w
+	}
+	return minW
 }
 
 // String renders the grid compactly for diagnostics.
 func (g RegionGrid) String() string {
+	if g.XCuts != nil || g.YCuts != nil {
+		return fmt.Sprintf("%dx%d balanced regions (mean %.0fx%.0f m)", g.Cols, g.Rows, g.CellW, g.CellH)
+	}
 	return fmt.Sprintf("%dx%d regions of %.0fx%.0f m", g.Cols, g.Rows, g.CellW, g.CellH)
 }
 
@@ -175,4 +236,114 @@ func FitRegionGrid(positions []Position, cols, rows int) RegionGrid {
 	g.CellW = (maxX - minX) / float64(cols)
 	g.CellH = (maxY - minY) / float64(rows)
 	return g
+}
+
+// FitBalancedRegionGrid lays a cols×rows region grid whose cut lines
+// sit at station-count quantiles along each axis — weighted grid-line
+// placement over the station positions with unit weights. On a uniform
+// field it converges to FitRegionGrid's equal cells; on a clustered
+// field it narrows columns and rows where stations crowd, so every
+// region holds roughly the same share of the marginal station
+// distribution (the product of the two marginals is not a perfect 2D
+// equalizer, but it is exact for separable densities and never worse
+// than uniform cells on them).
+func FitBalancedRegionGrid(positions []Position, cols, rows int) RegionGrid {
+	return FitWeightedRegionGrid(positions, nil, cols, rows)
+}
+
+// FitWeightedRegionGrid is the general occupancy-balanced partitioner:
+// cut lines sit at weight quantiles of each axis's marginal, so every
+// region column and row carries roughly the same share of the total
+// station weight. A nil weights slice means unit weights (every
+// station counts 1 — FitBalancedRegionGrid); callers that can predict
+// where the event load will concentrate (the scenario layer weights
+// flow endpoints) pass heavier weights there, and the cuts crowd
+// around the hot spots.
+//
+// Each cut falls at the midpoint between the two stations it separates,
+// so boundary stations sit strictly inside their region whenever the
+// coordinates differ. Degenerate inputs stay sound: coincident or
+// collinear positions produce coincident cuts (zero-width regions,
+// which only tighten the lookahead), and the assignment is a pure
+// function of the positions and weights — no randomness, no iteration
+// order.
+func FitWeightedRegionGrid(positions []Position, weights []float64, cols, rows int) RegionGrid {
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	g := FitRegionGrid(positions, cols, rows)
+	if len(positions) == 0 || (cols == 1 && rows == 1) {
+		return g
+	}
+	pts := make([]weightedCoord, len(positions))
+	fill := func(coord func(Position) float64) {
+		for i, p := range positions {
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			pts[i] = weightedCoord{c: coord(p), w: w}
+		}
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].c != pts[j].c {
+				return pts[i].c < pts[j].c
+			}
+			return pts[i].w < pts[j].w
+		})
+	}
+	if cols > 1 {
+		fill(func(p Position) float64 { return p.X })
+		g.XCuts = quantileCuts(pts, cols)
+	}
+	if rows > 1 {
+		fill(func(p Position) float64 { return p.Y })
+		g.YCuts = quantileCuts(pts, rows)
+	}
+	return g
+}
+
+// weightedCoord is one station's projection onto a partitioning axis.
+type weightedCoord struct{ c, w float64 }
+
+// quantileCuts places slots−1 interior cuts over the coordinate list
+// (sorted ascending), each at the midpoint between the last station of
+// one slot's weight share and the first of the next: cut c goes after
+// the longest prefix whose weight does not exceed c/slots of the
+// total. With unit weights that prefix is exactly ⌊c·n/slots⌋
+// stations.
+func quantileCuts(sorted []weightedCoord, slots int) []float64 {
+	n := len(sorted)
+	var total float64
+	for _, p := range sorted {
+		total += p.w
+	}
+	cuts := make([]float64, slots-1)
+	k, prefix := 0, 0.0
+	for c := 1; c < slots; c++ {
+		target := total * float64(c) / float64(slots)
+		for k < n && prefix+sorted[k].w <= target {
+			prefix += sorted[k].w
+			k++
+		}
+		j := k
+		if j < 1 {
+			j = 1
+		}
+		if j > n-1 {
+			j = n - 1
+		}
+		cuts[c-1] = sorted[j-1].c + (sorted[j].c-sorted[j-1].c)/2
+	}
+	// Quantile midpoints of a sorted list ascend by construction, but
+	// float rounding on near-equal neighbors could wobble; clamp so the
+	// RegionOf binary search sees a sorted sequence no matter what.
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			cuts[i] = cuts[i-1]
+		}
+	}
+	return cuts
 }

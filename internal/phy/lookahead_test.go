@@ -119,3 +119,158 @@ func TestFitRegionGrid(t *testing.T) {
 		t.Errorf("empty fit = %+v", g)
 	}
 }
+
+// TestFitRegionGridDegenerate pins the degenerate bounding boxes: every
+// station at one point (zero extent both ways) and a single row
+// (zero-height box). Both fitters must produce grids whose RegionOf
+// stays in range for the stations themselves and for off-field
+// positions — a /0 or an unclamped index here would crash the parallel
+// kernel's station placement.
+func TestFitRegionGridDegenerate(t *testing.T) {
+	fitters := []struct {
+		name string
+		fit  func([]Position, int, int) RegionGrid
+	}{
+		{"uniform", FitRegionGrid},
+		{"balanced", FitBalancedRegionGrid},
+	}
+	onePoint := []Position{{X: 7, Y: 7}, {X: 7, Y: 7}, {X: 7, Y: 7}}
+	row := []Position{{X: 0, Y: 3}, {X: 10, Y: 3}, {X: 20, Y: 3}, {X: 30, Y: 3}}
+	probes := []Position{{X: 7, Y: 7}, {X: -100, Y: 50}, {X: 1e9, Y: -1e9}, {}}
+	for _, f := range fitters {
+		for name, pos := range map[string][]Position{"one-point": onePoint, "single-row": row} {
+			g := f.fit(pos, 4, 4)
+			for _, p := range append(append([]Position{}, pos...), probes...) {
+				if r := g.RegionOf(p); r < 0 || r >= g.Regions() {
+					t.Errorf("%s/%s: RegionOf(%+v) = %d out of [0,%d)", f.name, name, p, r, g.Regions())
+				}
+			}
+			// The degenerate geometry must also keep the lookahead inputs
+			// finite and non-negative.
+			for a := 0; a < g.Regions(); a++ {
+				for b := 0; b < g.Regions(); b++ {
+					if d := g.MinRegionDist(a, b); math.IsNaN(d) || d < 0 {
+						t.Fatalf("%s/%s: MinRegionDist(%d,%d) = %v", f.name, name, a, b, d)
+					}
+				}
+			}
+		}
+		// All stations coincident: everything lands in one region.
+		g := f.fit(onePoint, 4, 4)
+		want := g.RegionOf(onePoint[0])
+		for _, p := range onePoint {
+			if g.RegionOf(p) != want {
+				t.Errorf("%s: coincident stations split across regions", f.name)
+			}
+		}
+	}
+	// A single row on a multi-row uniform grid: the zero-height box puts
+	// every station in row 0, and columns still split by X.
+	g := FitRegionGrid(row, 2, 3)
+	if r := g.RegionOf(row[0]); r != 0 {
+		t.Errorf("single-row leftmost station in region %d, want 0", r)
+	}
+	if r := g.RegionOf(row[3]); r != 1 {
+		t.Errorf("single-row rightmost station in region %d, want 1", r)
+	}
+}
+
+// TestFitBalancedRegionGrid pins the quantile cut placement: a
+// clustered field splits so each column holds an equal share of
+// stations, with each cut at the midpoint between the stations it
+// separates.
+func TestFitBalancedRegionGrid(t *testing.T) {
+	// 6 stations on a line: 4 crowded left, 2 far right. A uniform 2x1
+	// grid puts 5 of 6 in the left region; balanced splits 3/3.
+	pos := []Position{
+		{X: 0}, {X: 1}, {X: 2}, {X: 3}, {X: 100}, {X: 101},
+	}
+	g := FitBalancedRegionGrid(pos, 2, 1)
+	if len(g.XCuts) != 1 || g.YCuts != nil {
+		t.Fatalf("cuts = %v / %v, want one x cut", g.XCuts, g.YCuts)
+	}
+	// The cut separates sorted[2]=2 from sorted[3]=3: midpoint 2.5.
+	if got := g.XCuts[0]; got != 2.5 {
+		t.Errorf("cut at %v, want 2.5", got)
+	}
+	var left, right int
+	for _, p := range pos {
+		if g.RegionOf(p) == 0 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left != 3 || right != 3 {
+		t.Errorf("balanced split %d/%d, want 3/3", left, right)
+	}
+	uni := FitRegionGrid(pos, 2, 1)
+	uniLeft := 0
+	for _, p := range pos {
+		if uni.RegionOf(p) == 0 {
+			uniLeft++
+		}
+	}
+	if uniLeft != 4 {
+		t.Errorf("uniform reference left count = %d, want 4 (the crowded cluster)", uniLeft)
+	}
+
+	// On an evenly spaced field the balanced fit converges to the
+	// uniform assignment.
+	var even []Position
+	for i := 0; i < 16; i++ {
+		even = append(even, Position{X: float64(i), Y: float64(i % 4)})
+	}
+	bal, uni := FitBalancedRegionGrid(even, 4, 2), FitRegionGrid(even, 4, 2)
+	for _, p := range even {
+		if bal.RegionOf(p) != uni.RegionOf(p) {
+			t.Errorf("even field: balanced region %d != uniform %d at %+v", bal.RegionOf(p), uni.RegionOf(p), p)
+		}
+	}
+
+	// A station exactly on a cut belongs to the left/lower region
+	// (slot k spans (cut[k-1], cut[k]]).
+	onCut := RegionGrid{Cols: 2, Rows: 1, XCuts: []float64{10}}
+	if r := onCut.RegionOf(Position{X: 10}); r != 0 {
+		t.Errorf("station on the cut in region %d, want 0", r)
+	}
+	if r := onCut.RegionOf(Position{X: 10.001}); r != 1 {
+		t.Errorf("station past the cut in region %d, want 1", r)
+	}
+}
+
+// TestBalancedMinRegionDist pins the lookahead geometry on explicit
+// cut lines: the gap between non-adjacent regions is the distance
+// between their facing cuts, adjacent regions touch, and MinEdge
+// reports the narrowest slot.
+func TestBalancedMinRegionDist(t *testing.T) {
+	// Bounding box [0,100]x[0,60]; columns cut at 10 and 80, rows at 30.
+	g := RegionGrid{
+		MinX: 0, MinY: 0,
+		CellW: 100.0 / 3, CellH: 30, // means, reconstruct the outer bounds
+		Cols: 3, Rows: 2,
+		XCuts: []float64{10, 80},
+		YCuts: []float64{30},
+	}
+	if d := g.MinRegionDist(0, 1); d != 0 {
+		t.Errorf("adjacent balanced regions: dist %v, want 0", d)
+	}
+	// Regions 0 and 2: the gap is the middle column's width, 80-10.
+	if d := g.MinRegionDist(0, 2); math.Abs(d-70) > 1e-9 {
+		t.Errorf("gap across the middle column = %v, want 70", d)
+	}
+	// Diagonal: region 0 (row 0) to region 5 (row 1, col 2) — x gap 70,
+	// y gap 0 (rows are adjacent).
+	if d := g.MinRegionDist(0, 5); math.Abs(d-70) > 1e-9 {
+		t.Errorf("diagonal balanced dist = %v, want 70", d)
+	}
+	if e := g.MinEdge(); math.Abs(e-10) > 1e-9 {
+		t.Errorf("MinEdge = %v, want 10 (the narrow first column)", e)
+	}
+	// Coincident cuts: a zero-width region yields a zero gap — sound,
+	// it only tightens the lookahead to the unconditional bound.
+	z := RegionGrid{Cols: 3, Rows: 1, XCuts: []float64{5, 5}}
+	if d := z.MinRegionDist(0, 2); d != 0 {
+		t.Errorf("zero-width middle region: dist %v, want 0", d)
+	}
+}

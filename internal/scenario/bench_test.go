@@ -94,6 +94,67 @@ func BenchmarkClusteredBlocks100k(b *testing.B) {
 	benchmarkCityKernel(b, "clustered-blocks-100k", "")
 }
 
+// BenchmarkRandom16kParallel and BenchmarkClusteredBlocks100kParallel
+// are the PR 8 headline benches: the city presets at full duration on
+// the space-partitioned kernel with the auto-fitted 8x8 grid and the
+// default balanced partitioner; the *Uniform variants pin the
+// equal-cell reference partitioner so the pair isolates what
+// occupancy-balanced cut lines buy. Parallel instances do not support
+// Reset, so each iteration rebuilds untimed (StopTimer/StartTimer
+// brackets the build) and ns/event is still pure kernel cost. Beyond
+// the timing, each bench reports the kernel's structural metrics —
+// windows, cross-region messages, and the load-balance factor
+// (max/mean per-region events) — which BENCH_PR8.json records.
+func BenchmarkRandom16kParallel(b *testing.B) {
+	benchmarkCityParallel(b, "random-16k", PartitionerBalanced)
+}
+
+func BenchmarkRandom16kParallelUniform(b *testing.B) {
+	benchmarkCityParallel(b, "random-16k", PartitionerUniform)
+}
+
+func BenchmarkClusteredBlocks100kParallel(b *testing.B) {
+	benchmarkCityParallel(b, "clustered-blocks-100k", PartitionerBalanced)
+}
+
+func BenchmarkClusteredBlocks100kParallelUniform(b *testing.B) {
+	benchmarkCityParallel(b, "clustered-blocks-100k", PartitionerUniform)
+}
+
+func benchmarkCityParallel(b *testing.B, name, part string) {
+	spec, err := Preset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon := spec.Duration.D()
+	spec.Parallel = &ParallelParams{Workers: runtime.GOMAXPROCS(0), Partitioner: part}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fired, logical, windows, messages uint64
+	var balance float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		inst, err := Build(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		inst.Net.Run(horizon)
+		inst.Collect(horizon)
+		fired = inst.Net.Fired()
+		logical = logicalEvents(inst)
+		if es := inst.ExecStats(); es != nil {
+			windows, messages, balance = es.Windows, es.Messages, es.LoadBalance
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(fired), "ns/event")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(logical), "ns/logical-event")
+	b.ReportMetric(float64(logical), "logical-events/run")
+	b.ReportMetric(float64(windows), "windows/run")
+	b.ReportMetric(float64(messages), "xregion-msgs/run")
+	b.ReportMetric(balance, "load-balance")
+}
+
 func benchmarkCityKernel(b *testing.B, name string, sched string) {
 	spec, err := Preset(name)
 	if err != nil {

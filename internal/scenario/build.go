@@ -17,10 +17,16 @@ import (
 	"adhocsim/internal/transport"
 )
 
-// defaultMaxRegions caps an auto-sized parallel region grid at 4 per
-// dimension (16 regions); larger grids buy little once regions
-// outnumber cores, and each extra region adds cross-boundary traffic.
-const defaultMaxRegions = 4
+// Auto-sized parallel region grids are capped at 8 per dimension (64
+// regions) — beyond that, regions far outnumber cores and each extra
+// boundary adds cross-region traffic — and then shrunk until regions
+// average at least 64 stations, so modest fields (a thousand stations)
+// keep the compact grids that buy real parallelism while city-scale
+// fields get the full 8x8.
+const (
+	autoMaxRegionsPerDim     = 8
+	autoMinStationsPerRegion = 64
+)
 
 // Instance is a compiled scenario: a live network plus the workload
 // endpoints, ready to run. Callers that need more than Run's metrics —
@@ -106,60 +112,16 @@ func Build(spec Spec) (*Instance, error) {
 	if schedKind != sim.KindHeap {
 		opts = append(opts, node.WithScheduler(schedKind))
 	}
-	if p := spec.Parallel; p != nil && spec.Mobility == nil {
-		// Size the region grid for the field. Explicit Cols/Rows are used
-		// exactly as requested (any grid is sound — the lookahead adapts;
-		// see internal/phy/lookahead.go). Auto-sized dimensions target load
-		// balance instead: regions no smaller than the carrier-sense range
-		// (below it stations mostly contend with neighbors in other
-		// regions and the partition buys nothing), capped per dimension.
-		// Small fields thus fit a single region, which runs the identical
-		// window protocol on one scheduler. Mobility specs skip the block
-		// entirely (the sequential fallback): a moving station would
-		// change regions. A degenerate radio model (infinite relevance
-		// radius) also falls back — the lookahead has no distance bound.
-		profiles := []*phy.Profile{netProfile}
-		if netProfile == nil {
-			profiles[0] = phy.DefaultProfile()
+	grid, reach, parOK, err := spec.parallelGrid(positions, netProfile)
+	if err != nil {
+		return nil, err
+	}
+	if parOK {
+		workers := spec.Parallel.Workers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-		for _, ov := range spec.Stations {
-			if ov.Profile == "" {
-				continue
-			}
-			sp, err := profileByName(ov.Profile)
-			if err != nil {
-				return nil, err
-			}
-			if sp == nil {
-				sp = phy.DefaultProfile()
-			}
-			profiles = append(profiles, sp)
-		}
-		reach := medium.FieldReach(profiles)
-		if !math.IsInf(reach, 1) {
-			cols, rows := p.Cols, p.Rows
-			if cols == 0 || rows == 0 {
-				minEdge := 0.0
-				for _, pr := range profiles {
-					if d := pr.CarrierSenseRange(); d > minEdge {
-						minEdge = d
-					}
-				}
-				spanX, spanY := fieldSpans(positions)
-				if cols == 0 {
-					cols = autoRegions(spanX, minEdge)
-				}
-				if rows == 0 {
-					rows = autoRegions(spanY, minEdge)
-				}
-			}
-			grid := phy.FitRegionGrid(positions, cols, rows)
-			workers := p.Workers
-			if workers == 0 {
-				workers = runtime.GOMAXPROCS(0)
-			}
-			opts = append(opts, node.WithParallel(grid, reach, workers, p.Sequential))
-		}
+		opts = append(opts, node.WithParallel(grid, reach, workers, spec.Parallel.Sequential))
 	}
 	net := node.NewNetwork(spec.Seed, opts...)
 
@@ -208,6 +170,131 @@ func Build(spec Spec) (*Instance, error) {
 	return inst, nil
 }
 
+// parallelGrid resolves the spec's parallel block against a concrete
+// topology draw into the region grid and the field's relevance radius.
+// ok is false when the parallel kernel does not apply and the build
+// falls back to the sequential kernel: no parallel block, a mobility
+// model (a moving station would change regions), or a degenerate radio
+// model with no finite relevance radius (the lookahead would have no
+// distance bound).
+//
+// Explicit Cols/Rows are honored exactly as requested (any grid is
+// sound — the lookahead adapts; see internal/phy/lookahead.go).
+// Auto-sized dimensions target load balance: regions no smaller than
+// the carrier-sense range (below it stations mostly contend with
+// neighbors in other regions and the partition buys nothing), capped
+// per dimension and held to the station-density floor documented at
+// autoMaxRegionsPerDim. Small fields thus fit a single region, which
+// runs the identical window protocol on one scheduler. The partitioner
+// then places the cut lines: balanced occupancy quantiles by default,
+// uniform cells on request.
+func (s Spec) parallelGrid(positions []phy.Position, netProfile *phy.Profile) (grid phy.RegionGrid, reach float64, ok bool, err error) {
+	p := s.Parallel
+	if p == nil || s.Mobility != nil {
+		return phy.RegionGrid{}, 0, false, nil
+	}
+	profiles := []*phy.Profile{netProfile}
+	if netProfile == nil {
+		profiles[0] = phy.DefaultProfile()
+	}
+	for _, ov := range s.Stations {
+		if ov.Profile == "" {
+			continue
+		}
+		sp, err := profileByName(ov.Profile)
+		if err != nil {
+			return phy.RegionGrid{}, 0, false, err
+		}
+		if sp == nil {
+			sp = phy.DefaultProfile()
+		}
+		profiles = append(profiles, sp)
+	}
+	reach = medium.FieldReach(profiles)
+	if math.IsInf(reach, 1) {
+		return phy.RegionGrid{}, 0, false, nil
+	}
+	cols, rows := p.Cols, p.Rows
+	if cols == 0 || rows == 0 {
+		minEdge := 0.0
+		for _, pr := range profiles {
+			if d := pr.CarrierSenseRange(); d > minEdge {
+				minEdge = d
+			}
+		}
+		spanX, spanY := fieldSpans(positions)
+		autoC, autoR := cols == 0, rows == 0
+		if autoC {
+			cols = autoRegions(spanX, minEdge)
+		}
+		if autoR {
+			rows = autoRegions(spanY, minEdge)
+		}
+		// Density floor: shrink auto-sized dimensions (never explicit
+		// ones) until regions average autoMinStationsPerRegion stations,
+		// taking from the larger dimension first.
+		maxRegions := len(positions) / autoMinStationsPerRegion
+		if maxRegions < 1 {
+			maxRegions = 1
+		}
+		for cols*rows > maxRegions {
+			if autoC && cols > 1 && (cols >= rows || !(autoR && rows > 1)) {
+				cols--
+			} else if autoR && rows > 1 {
+				rows--
+			} else {
+				break
+			}
+		}
+	}
+	if p.Partitioner == PartitionerUniform {
+		grid = phy.FitRegionGrid(positions, cols, rows)
+	} else {
+		grid = phy.FitWeightedRegionGrid(positions, activityWeights(s.Flows, len(positions)), cols, rows)
+	}
+	return grid, reach, true, nil
+}
+
+// activityWeights is the balanced partitioner's station weighting. Raw
+// station count is a poor predictor of event load when traffic is
+// concentrated — on clustered-blocks-100k every flow terminates on the
+// field's left edge, and count-quantile cuts are indistinguishable from
+// uniform cells there — so each station weighs 1 plus an equal share of
+// one station-mass per flow endpoint it hosts. Half the total weight
+// then follows the workload: cut lines crowd around the flow endpoints
+// (where the transmissions, deferrals and arrival edges concentrate)
+// and idle expanses merge into wide regions. Weights derive from the
+// resolved flow matrix, a pure function of the spec and its seed. Nil
+// (unit weights) when the spec has no flows.
+func activityWeights(flows []Flow, n int) []float64 {
+	ends := 0
+	for _, f := range flows {
+		if f.Src >= 0 && f.Src < n {
+			ends++
+		}
+		if f.Dst >= 0 && f.Dst < n {
+			ends++
+		}
+	}
+	if ends == 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	share := float64(n) / float64(ends)
+	for _, f := range flows {
+		if f.Src >= 0 && f.Src < n {
+			w[f.Src] += share
+		}
+		if f.Dst >= 0 && f.Dst < n {
+			w[f.Dst] += share
+		}
+	}
+	return w
+}
+
 // fieldSpans returns the bounding-box extents of the station field.
 func fieldSpans(positions []phy.Position) (spanX, spanY float64) {
 	if len(positions) == 0 {
@@ -234,8 +321,8 @@ func autoRegions(span, minEdge float64) int {
 	if n < 1 {
 		n = 1
 	}
-	if n > defaultMaxRegions {
-		n = defaultMaxRegions
+	if n > autoMaxRegionsPerDim {
+		n = autoMaxRegionsPerDim
 	}
 	return n
 }
@@ -614,9 +701,18 @@ func Run(spec Spec) (Result, error) {
 // the events at or before each target either way — so the result is
 // bit-identical to Run's.
 func RunProgress(spec Spec, tick func(now, horizon time.Duration, fired uint64)) (Result, error) {
+	res, _, err := RunProgressExec(spec, tick)
+	return res, err
+}
+
+// RunProgressExec is RunProgress returning also the parallel kernel's
+// execution stats (nil when the build fell back to the sequential
+// kernel), for callers that surface the plan and counters alongside
+// the result — the CLI's metered single runs.
+func RunProgressExec(spec Spec, tick func(now, horizon time.Duration, fired uint64)) (Result, *ExecSummary, error) {
 	inst, err := Build(spec)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	horizon := inst.Spec.Duration.D()
 	const steps = 100
@@ -625,7 +721,7 @@ func RunProgress(spec Spec, tick func(now, horizon time.Duration, fired uint64))
 		inst.Net.Run(target - inst.Net.Now())
 		tick(inst.Net.Now(), horizon, inst.Net.Fired())
 	}
-	return inst.Collect(horizon), nil
+	return inst.Collect(horizon), inst.ExecStats(), nil
 }
 
 // MustRun is Run for presets that are valid by construction; it panics

@@ -83,6 +83,34 @@ func TestRandom16kKernelToggles(t *testing.T) {
 	})
 }
 
+// TestRandom16kParallelToggles extends the city toggle matrix with the
+// parallel-kernel axes: both partitioners crossed with both scheduler
+// backends, each run on the space-partitioned kernel and required
+// byte-identical to the sequential kernel under the same backend. The
+// 16k field auto-fits an 8x8 grid, so this is the first multi-region
+// equivalence check at city scale — the preset sweeps cap at 2048
+// stations.
+func TestRandom16kParallelToggles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale preset run: skipped in -short")
+	}
+	spec := cityShortSpec(t, "random-16k", 50*time.Millisecond)
+	for _, sched := range []string{"calendar", "heap"} {
+		s := spec
+		s.Scheduler = sched
+		seq := runJSON(t, s)
+		for _, part := range []string{PartitionerBalanced, PartitionerUniform} {
+			t.Run(part+"-"+sched, func(t *testing.T) {
+				p := s
+				p.Parallel = &ParallelParams{Partitioner: part}
+				if got := runJSON(t, p); !bytes.Equal(seq, got) {
+					t.Errorf("random-16k: parallel (%s partitioner, %s backend) differs from sequential", part, sched)
+				}
+			})
+		}
+	}
+}
+
 // TestClusteredBlocks100kEndToEnd builds and runs the 100k preset at a
 // short horizon: construction completes, the run fires events, and the
 // paced flows actually deliver — each block's nearest-neighbor pair is

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"adhocsim/internal/phy"
 )
@@ -290,5 +291,86 @@ func TestParallelGoldenRandom1024(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Errorf("random-1024 parallel result diverged from the recorded golden")
+	}
+}
+
+// TestSplitWorkers pins the hybrid sweep's worker arithmetic: the
+// budget goes to replications first, any surplus becomes region
+// workers, and an explicit ParallelParams.Workers pins the region
+// count regardless of the derived split.
+func TestSplitWorkers(t *testing.T) {
+	cases := []struct {
+		reps, total, par     int
+		wantReps, wantRegion int
+	}{
+		{reps: 4, total: 8, par: 0, wantReps: 4, wantRegion: 2},
+		{reps: 8, total: 4, par: 0, wantReps: 4, wantRegion: 1},
+		{reps: 1, total: 6, par: 0, wantReps: 1, wantRegion: 6},
+		{reps: 3, total: 3, par: 0, wantReps: 3, wantRegion: 1},
+		{reps: 2, total: 5, par: 0, wantReps: 2, wantRegion: 2},
+		{reps: 4, total: 8, par: 3, wantReps: 4, wantRegion: 3},
+		{reps: 1, total: 1, par: 0, wantReps: 1, wantRegion: 1},
+	}
+	for _, c := range cases {
+		gotReps, gotRegion := splitWorkers(c.reps, c.total, c.par)
+		if gotReps != c.wantReps || gotRegion != c.wantRegion {
+			t.Errorf("splitWorkers(%d, %d, %d) = (%d, %d); want (%d, %d)",
+				c.reps, c.total, c.par, gotReps, gotRegion, c.wantReps, c.wantRegion)
+		}
+	}
+	// A non-positive budget defaults to GOMAXPROCS; the split must
+	// still be well-formed.
+	r, g := splitWorkers(2, 0, 0)
+	if r < 1 || g < 1 {
+		t.Errorf("splitWorkers(2, 0, 0) = (%d, %d); want both >= 1", r, g)
+	}
+}
+
+// TestReplicateHybridWorkerInvariance pins the hybrid scheduling
+// contract: a replication sweep over a parallel spec must produce the
+// same summary whatever the worker budget — the budget only moves work
+// between replication workers and region workers, never changes the
+// event order. The exec block's worker split legitimately varies with
+// the budget, so it is normalized before comparison while the run
+// results and the folded executor counters (windows, messages,
+// per-region fired histogram) must match exactly.
+func TestReplicateHybridWorkerInvariance(t *testing.T) {
+	spec, err := Preset("random-1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Duration = Duration(500 * time.Millisecond)
+	spec.Parallel = &ParallelParams{}
+	const reps = 2
+
+	normalize := func(s Summary) []byte {
+		t.Helper()
+		if s.Exec == nil {
+			t.Fatal("hybrid sweep produced no exec block")
+		}
+		es := *s.Exec
+		es.RegionWorkers, es.ReplicationWorkers = 0, 0
+		s.Exec = &es
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	base, err := Replicate(spec, reps, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := normalize(base)
+	for _, budget := range []int{2, 5} {
+		got, err := Replicate(spec, reps, budget, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := normalize(got); !bytes.Equal(want, b) {
+			t.Errorf("hybrid sweep with budget %d diverged from budget 1:\nbudget 1: %s\nbudget %d: %s",
+				budget, want, budget, b)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"adhocsim/internal/runner"
@@ -50,8 +51,49 @@ type Summary struct {
 	// only for routed scenarios, where relaying exists to report on.
 	Stations []StationSummary `json:"stations,omitempty"`
 	Fairness runner.Summary   `json:"fairness"`
+	// Exec reports the parallel kernel's execution plan and aggregate
+	// counters when the sweep ran the space-partitioned kernel; nil for
+	// sequential sweeps. It lives on the Summary, not on each Result:
+	// the per-run Results stay byte-identical across kernels, which is
+	// the equivalence contract the parallel tests pin.
+	Exec *ExecSummary `json:"exec,omitempty"`
 	// Runs holds the per-replication results in replication order.
 	Runs []Result `json:"runs"`
+}
+
+// ExecSummary describes how a parallel sweep actually executed — the
+// partition and the two-level worker split — plus the kernel's
+// counters folded over the replications in replication order.
+type ExecSummary struct {
+	// Partitioner is the resolved cut-line placement ("balanced" or
+	// "uniform"); Cols/Rows and Grid describe replication 0's fitted
+	// region grid (random topologies re-draw positions per seed, which
+	// moves the cut lines but not the auto-sized shape).
+	Partitioner string `json:"partitioner"`
+	Cols        int    `json:"cols"`
+	Rows        int    `json:"rows"`
+	Grid        string `json:"grid"`
+	// RegionWorkers drive regions inside each replication;
+	// ReplicationWorkers run replications concurrently. Neither
+	// affects results — only wall-clock.
+	RegionWorkers      int `json:"region_workers"`
+	ReplicationWorkers int `json:"replication_workers"`
+	// Windows counts barrier-separated lookahead windows and Messages
+	// cross-region message deliveries, both summed over replications.
+	Windows  uint64 `json:"windows"`
+	Messages uint64 `json:"messages"`
+	// RegionFired is the per-region events-fired histogram summed over
+	// replications (row-major region order); LoadBalance is its
+	// max/mean ratio — 1.0 is a perfectly even partition.
+	RegionFired []uint64 `json:"region_fired"`
+	LoadBalance float64  `json:"load_balance"`
+}
+
+// Plan renders the execution plan as the one-line human summary the
+// CLI prints under -progress.
+func (e *ExecSummary) Plan() string {
+	return fmt.Sprintf("parallel plan: %s (%s partitioner), %d region worker(s) x %d replication worker(s)",
+		e.Grid, e.Partitioner, e.RegionWorkers, e.ReplicationWorkers)
 }
 
 // rebuildEachRep, when set, makes Replicate compile every replication
@@ -80,26 +122,27 @@ func SetRebuildEachRep(on bool) { rebuildEachRep = on }
 // cannot reach, so those replications rebuild — and serialize, since
 // the shared hook state would also make concurrent replications a data
 // race.
+//
+// Specs with a parallel block run the hybrid schedule instead: every
+// replication keeps the space-partitioned kernel, and the worker
+// budget splits between replication-level and region-level parallelism
+// (see replicateParallel). The split never changes results — only
+// wall-clock — and the chosen plan is reported in Summary.Exec.
 func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Summary, error) {
-	// A sweep already parallelizes across seeds, and the arena-reuse
-	// path depends on node.Network.Reset, which the parallel kernel does
-	// not support — so multi-replication sweeps always run the
-	// sequential kernel. One seed, one core; many seeds, many cores; the
-	// parallel kernel is for the one-seed case (cmd/adhocsim
-	// -parallel-regions, Run), so a single-replication summary keeps the
-	// spec's parallel block and runs it through the full-build path.
-	par := spec.Parallel
-	spec.Parallel = nil
+	// Build falls back to the sequential kernel under mobility; strip
+	// the parallel block up front so those sweeps keep the arena-reuse
+	// path instead of pointlessly full-building every replication.
+	if spec.Mobility != nil {
+		spec.Parallel = nil
+	}
 	if err := spec.Validate(); err != nil {
 		return Summary{}, err
 	}
 	if reps < 1 {
 		reps = 1
 	}
-	if reps == 1 && par != nil {
-		s := spec
-		s.Parallel = par
-		return summarize(spec, []Result{MustRun(s)}), nil
+	if spec.Parallel != nil {
+		return replicateParallel(spec, reps, workers, progress)
 	}
 	if spec.MACHook != nil {
 		workers = 1
@@ -118,6 +161,200 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 		})
 	}
 	return summarize(spec, runs), nil
+}
+
+// replicateParallel runs a sweep whose replications carry the
+// space-partitioned kernel. The worker budget splits across the two
+// levels of parallelism: replications first — independent seeds scale
+// perfectly — with the surplus handed to the regions inside each
+// replication, so a sweep of 2 replications on 8 cores runs 2x4
+// instead of idling six cores. The split derives from the spec and the
+// counts alone, never from timing, and neither level affects results
+// (runner's index-ordered fan-out; the executor's worker-invariance
+// guarantee), so the aggregate stays bit-identical for any worker
+// count. Parallel instances do not support Reset, so every replication
+// compiles from scratch — no arena reuse.
+func replicateParallel(spec Spec, reps, workers int, progress func(done, total int)) (Summary, error) {
+	repWorkers, regionWorkers := splitWorkers(reps, workers, spec.Parallel.Workers)
+	if spec.MACHook != nil {
+		// Concurrent replications would race on the shared hook state;
+		// region workers are fine (the hook only runs at build time).
+		repWorkers = 1
+	}
+	type outcome struct {
+		res Result
+		es  *ExecSummary
+	}
+	par := *spec.Parallel
+	par.Workers = regionWorkers
+	cfg := runner.Config{Workers: repWorkers, Progress: progress}
+	outs := runner.Replicate(cfg, spec.Seed, reps, func(seed uint64) outcome {
+		s := spec
+		s.Seed = seed
+		p := par
+		s.Parallel = &p
+		inst, err := Build(s)
+		if err != nil {
+			// Validate passed before the fan-out, so this is unreachable
+			// short of a programming error; mirror MustRun's contract.
+			panic(fmt.Sprintf("scenario: %v", err))
+		}
+		horizon := inst.Spec.Duration.D()
+		inst.Net.Run(horizon)
+		return outcome{res: inst.Collect(horizon), es: inst.ExecStats()}
+	})
+	runs := make([]Result, len(outs))
+	for i, o := range outs {
+		runs[i] = o.res
+	}
+	sum := summarize(spec, runs)
+	// A degenerate radio model can make Build fall back to the
+	// sequential kernel (no executor); the summary then reports no plan.
+	if first := outs[0].es; first != nil {
+		es := &ExecSummary{
+			Partitioner:        first.Partitioner,
+			Cols:               first.Cols,
+			Rows:               first.Rows,
+			Grid:               first.Grid,
+			RegionWorkers:      first.RegionWorkers,
+			ReplicationWorkers: repWorkers,
+		}
+		for _, o := range outs {
+			if o.es == nil {
+				continue
+			}
+			es.Windows += o.es.Windows
+			es.Messages += o.es.Messages
+			for len(es.RegionFired) < len(o.es.RegionFired) {
+				es.RegionFired = append(es.RegionFired, 0)
+			}
+			for r, f := range o.es.RegionFired {
+				es.RegionFired[r] += f
+			}
+		}
+		es.LoadBalance = loadBalance(es.RegionFired)
+		sum.Exec = es
+	}
+	return sum, nil
+}
+
+// ExecStats reports the instance's parallel-kernel execution stats —
+// the plan fields from its fitted grid, the counters from its executor
+// — as a single-replication ExecSummary. Nil when the instance runs
+// the sequential kernel.
+func (inst *Instance) ExecStats() *ExecSummary {
+	ex := inst.Net.Exec
+	if ex == nil {
+		return nil
+	}
+	part := ""
+	if inst.Spec.Parallel != nil {
+		part = inst.Spec.Parallel.Partitioner
+	}
+	g := inst.Net.Grid
+	es := &ExecSummary{
+		Partitioner:        resolvePartitioner(part),
+		Cols:               g.Cols,
+		Rows:               g.Rows,
+		Grid:               g.String(),
+		RegionWorkers:      ex.Workers(),
+		ReplicationWorkers: 1,
+		Windows:            ex.Windows(),
+		Messages:           ex.Messages(),
+		RegionFired:        ex.RegionFired(),
+	}
+	es.LoadBalance = loadBalance(es.RegionFired)
+	return es
+}
+
+// splitWorkers divides a sweep's worker budget between its two levels
+// of parallelism: replications first (independent seeds need no
+// synchronization at all), any surplus to the parallel kernel inside
+// each replication. An explicit ParallelParams.Workers pins the
+// region-level count instead of deriving it.
+func splitWorkers(reps, total, parWorkers int) (repWorkers, regionWorkers int) {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	repWorkers = min(reps, total)
+	if repWorkers < 1 {
+		repWorkers = 1
+	}
+	regionWorkers = parWorkers
+	if regionWorkers == 0 {
+		regionWorkers = max(1, total/repWorkers)
+	}
+	return repWorkers, regionWorkers
+}
+
+// loadBalance is the max/mean ratio of a per-region event histogram:
+// 1.0 is a perfectly even partition, R (the region count) is all the
+// work concentrated in one region.
+func loadBalance(fired []uint64) float64 {
+	var total, peak uint64
+	for _, f := range fired {
+		total += f
+		if f > peak {
+			peak = f
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(peak) * float64(len(fired)) / float64(total)
+}
+
+// resolvePartitioner maps the spec spelling to the effective
+// partitioner name (empty selects balanced).
+func resolvePartitioner(p string) string {
+	if p == "" {
+		return PartitionerBalanced
+	}
+	return p
+}
+
+// PlanExec resolves the execution plan a Replicate call with the same
+// arguments will choose — the fitted region grid and the two-level
+// worker split — without running anything, so the CLI can print it up
+// front. Returns nil (and no error) when the sweep will run the
+// sequential kernel throughout.
+func PlanExec(spec Spec, reps, workers int) (*ExecSummary, error) {
+	spec = spec.withDefaults()
+	if spec.Parallel == nil || spec.Mobility != nil {
+		return nil, nil
+	}
+	positions, flows, err := spec.check()
+	if err != nil {
+		return nil, err
+	}
+	// The balanced partitioner weights the resolved flow endpoints, so
+	// the plan must resolve them exactly as Build does.
+	spec.Flows = flows
+	netProfile := spec.CustomProfile
+	if netProfile == nil {
+		if netProfile, err = profileByName(spec.Profile); err != nil {
+			return nil, err
+		}
+	}
+	grid, _, ok, err := spec.parallelGrid(positions, netProfile)
+	if err != nil || !ok {
+		return nil, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	repWorkers, regionWorkers := splitWorkers(reps, workers, spec.Parallel.Workers)
+	if spec.MACHook != nil {
+		repWorkers = 1
+	}
+	return &ExecSummary{
+		Partitioner:        resolvePartitioner(spec.Parallel.Partitioner),
+		Cols:               grid.Cols,
+		Rows:               grid.Rows,
+		Grid:               grid.String(),
+		RegionWorkers:      min(regionWorkers, grid.Regions()),
+		ReplicationWorkers: repWorkers,
+	}, nil
 }
 
 // SummarizeRuns aggregates already-collected runs of one spec into the
@@ -212,6 +449,10 @@ func Render(s Summary) string {
 		fmt.Fprintf(&b, "Scenario %q — %d replication(s), %s routing\n", s.Name, s.Replications, s.Routing)
 	} else {
 		fmt.Fprintf(&b, "Scenario %q — %d replication(s)\n", s.Name, s.Replications)
+	}
+	if s.Exec != nil {
+		fmt.Fprintf(&b, "%s — %d window(s), %d cross-region message(s), load balance %.2f\n",
+			s.Exec.Plan(), s.Exec.Windows, s.Exec.Messages, s.Exec.LoadBalance)
 	}
 	fmt.Fprintf(&b, "%-6s %-10s %-12s %-18s %-14s %-8s %s\n",
 		"flow", "route", "transport", "goodput [kbit/s]", "retries", "gaps", "hops")

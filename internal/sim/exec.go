@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,8 +87,10 @@ import (
 // Run(until) executes everything at or before until (matching
 // Scheduler.RunUntil semantics, including events at exactly until) and
 // leaves every region clock at exactly until. Messages timestamped
-// after until are dropped at Send — the sequential run would never have
-// executed them either.
+// after until still inject — they stay pending in their destination
+// scheduler, and a later Run executes them, exactly as the sequential
+// kernel carries directly-scheduled events across RunUntil slices (the
+// CLI's -progress mode runs the horizon in 100 such slices).
 type Exec struct {
 	regions []*execRegion
 	// md[from*len(regions)+to] is the minimum simulated time for
@@ -121,8 +123,18 @@ type execRegion struct {
 	inbox []regionMsg
 
 	// Owner-only state (the goroutine currently servicing the region).
-	staged []regionMsg
-	sends  uint64
+	//
+	// out[k] buffers this region's messages to region k for the current
+	// window: Send appends lock-free (only the owning worker sends from
+	// this region), and the owner flushes each non-empty buffer into its
+	// destination inbox in one locked append at the end of the window —
+	// one lock acquisition per (source, destination) pair per window
+	// instead of one per message.
+	out        [][]regionMsg
+	staged     []regionMsg
+	freeGroups []*groupAction
+	sends      uint64
+	delivered  uint64
 	// dirty marks that the region executed events last window, so its
 	// published next time must be recomputed; clean regions with empty
 	// inboxes skip prep entirely.
@@ -156,7 +168,7 @@ func NewExec(n int, delay func(a, b int) time.Duration) *Exec {
 		workers: 1,
 	}
 	for i := range e.regions {
-		e.regions[i] = &execRegion{sched: NewScheduler(), next: infClock}
+		e.regions[i] = &execRegion{sched: NewScheduler(), next: infClock, out: make([][]regionMsg, n)}
 	}
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
@@ -213,6 +225,9 @@ func (e *Exec) Now() time.Duration { return e.regions[0].sched.Now() }
 func (e *Exec) Windows() uint64 { return e.windowsRun }
 
 // Fired returns the total number of events executed across all regions.
+// Messages injected at the same instant from the same send time fire as
+// one pooled group event (see prep), so this undercounts the individual
+// cross-region actions; Messages counts those.
 func (e *Exec) Fired() uint64 {
 	var n uint64
 	for _, r := range e.regions {
@@ -220,6 +235,34 @@ func (e *Exec) Fired() uint64 {
 	}
 	return n
 }
+
+// Messages returns the total cross-region messages delivered into
+// region schedulers across all Runs so far — the executor's boundary
+// traffic metric (each message is one canonical-sort entry and at most
+// one injected event).
+func (e *Exec) Messages() uint64 {
+	var n uint64
+	for _, r := range e.regions {
+		n += r.delivered
+	}
+	return n
+}
+
+// RegionFired returns the per-region executed event counts, indexed by
+// region. max/mean over it is the executor's load-balance factor: how
+// far the busiest region's event share sits above a perfectly even
+// partition.
+func (e *Exec) RegionFired() []uint64 {
+	out := make([]uint64, len(e.regions))
+	for i, r := range e.regions {
+		out[i] = r.sched.Fired()
+	}
+	return out
+}
+
+// Workers returns the configured worker count (after SetWorkers's
+// clamping) — diagnostic only; results never depend on it.
+func (e *Exec) Workers() int { return e.workers }
 
 // SetWorkers sets the goroutine count for subsequent Runs. Values below
 // 1 or above the region count are clamped. The result of a Run does not
@@ -246,8 +289,13 @@ func (e *Exec) SetSequential(on bool) { e.sequential = on }
 // Send delivers act to region to at absolute simulated time at. It must
 // be called from an event executing on region from's scheduler (the
 // send time is read from that scheduler's clock). Messages timestamped
-// after the current Run's horizon are dropped: the run will never reach
-// them. Safe for concurrent use by distinct sending regions.
+// after the current Run's horizon are still delivered — they inject as
+// pending events a later Run picks up, exactly as the sequential kernel
+// leaves directly-scheduled events pending across RunUntil slices (a
+// sliced parallel run must agree with a sliced sequential one). Safe
+// for concurrent use by distinct sending regions: the message lands in
+// the source region's per-destination outbox and crosses into the
+// destination inbox at the window flush.
 func (e *Exec) Send(from, to int, at time.Duration, act Action) {
 	src := e.regions[from]
 	seq := src.sends
@@ -257,14 +305,27 @@ func (e *Exec) Send(from, to int, at time.Duration, act Action) {
 	if back := e.md[to*len(e.regions)+from]; back != infClock && int64(at)+back < src.cap {
 		src.cap = int64(at) + back
 	}
-	if at > e.until {
-		return
+	src.out[to] = append(src.out[to], regionMsg{at: at, sentAt: src.sched.Now(), src: int32(from), srcSeq: seq, act: act})
+}
+
+// flush hands region src's buffered outgoing messages to their
+// destination inboxes, one locked append per destination. Runs on the
+// owner at the end of each window's execute phase, before the barrier
+// that publishes the appends to the next prep.
+func (e *Exec) flush(src *execRegion) {
+	for to, msgs := range src.out {
+		if len(msgs) == 0 {
+			continue
+		}
+		dst := e.regions[to]
+		dst.mu.Lock()
+		dst.inbox = append(dst.inbox, msgs...)
+		dst.mu.Unlock()
+		for i := range msgs {
+			msgs[i].act = nil
+		}
+		src.out[to] = msgs[:0]
 	}
-	sentAt := src.sched.Now()
-	dst := e.regions[to]
-	dst.mu.Lock()
-	dst.inbox = append(dst.inbox, regionMsg{at: at, sentAt: sentAt, src: int32(from), srcSeq: seq, act: act})
-	dst.mu.Unlock()
 }
 
 // Run executes every region's events through simulated time until
@@ -364,6 +425,9 @@ func (e *Exec) windows(w, stride int, bar *barrier) {
 				r.sched.Step()
 				r.dirty = true
 			}
+			if r.dirty {
+				e.flush(r)
+			}
 		}
 		if bar != nil {
 			bar.wait()
@@ -376,6 +440,18 @@ func (e *Exec) windows(w, stride int, bar *barrier) {
 // erases the wall-clock interleaving of concurrent senders — the
 // injected order (and the heap insertion order breaking exact
 // (at, sentAt) ties) is a pure function of the message set.
+//
+// Messages agreeing on both timestamp and send time coalesce into one
+// pooled group event. That is exactly order-preserving, not just
+// deterministic: an injected event's queue key is (at, sentAt-derived
+// sub, insertion seq), so the members of such a run would fire
+// back-to-back anyway — no local event can hold a key strictly between
+// two identical (at, sub) pairs, and any same-keyed later injection
+// gets a later insertion seq. Running the members inside one event in
+// canonical order reproduces the exact same action sequence while
+// firing (and paying for) one scheduler event instead of one per
+// message. The steady path allocates nothing: staged and the group
+// pool recycle, and the comparison-function sort has no reflection.
 func (e *Exec) prep(r *execRegion) {
 	// Reading inbox without the lock is safe here: senders only append
 	// during the execute phase, and the window barrier orders all of
@@ -390,23 +466,50 @@ func (e *Exec) prep(r *execRegion) {
 		r.inbox = r.inbox[:0]
 	}
 	if len(r.staged) > 0 {
-		sort.Slice(r.staged, func(a, b int) bool {
-			x, y := &r.staged[a], &r.staged[b]
+		r.delivered += uint64(len(r.staged))
+		slices.SortFunc(r.staged, func(x, y regionMsg) int {
 			if x.at != y.at {
-				return x.at < y.at
+				if x.at < y.at {
+					return -1
+				}
+				return 1
 			}
 			if x.sentAt != y.sentAt {
-				return x.sentAt < y.sentAt
+				if x.sentAt < y.sentAt {
+					return -1
+				}
+				return 1
 			}
 			if x.src != y.src {
-				return x.src < y.src
+				return int(x.src) - int(y.src)
 			}
-			return x.srcSeq < y.srcSeq
+			if x.srcSeq != y.srcSeq {
+				if x.srcSeq < y.srcSeq {
+					return -1
+				}
+				return 1
+			}
+			return 0
 		})
-		for i := range r.staged {
+		for i := 0; i < len(r.staged); {
 			m := &r.staged[i]
-			r.sched.InjectAt(m.at, m.sentAt, m.act)
-			m.act = nil
+			j := i + 1
+			for j < len(r.staged) && r.staged[j].at == m.at && r.staged[j].sentAt == m.sentAt {
+				j++
+			}
+			if j == i+1 {
+				r.sched.InjectAt(m.at, m.sentAt, m.act)
+			} else {
+				g := r.newGroup()
+				for k := i; k < j; k++ {
+					g.acts = append(g.acts, r.staged[k].act)
+				}
+				r.sched.InjectAt(m.at, m.sentAt, g)
+			}
+			i = j
+		}
+		for i := range r.staged {
+			r.staged[i].act = nil
 		}
 		r.staged = r.staged[:0]
 	}
@@ -414,6 +517,34 @@ func (e *Exec) prep(r *execRegion) {
 	if t, ok := r.sched.PeekAt(); ok {
 		r.next = int64(t)
 	}
+}
+
+// groupAction is a pooled batch of same-instant, same-send-time message
+// actions, fired as one scheduler event and run in canonical order. It
+// returns itself to its region's pool after firing; both the allocation
+// (prep) and the firing (execute) happen on the region's owner, so the
+// pool needs no lock.
+type groupAction struct {
+	r    *execRegion
+	acts []Action
+}
+
+func (r *execRegion) newGroup() *groupAction {
+	if n := len(r.freeGroups); n > 0 {
+		g := r.freeGroups[n-1]
+		r.freeGroups = r.freeGroups[:n-1]
+		return g
+	}
+	return &groupAction{r: r}
+}
+
+func (g *groupAction) Act() {
+	for i, a := range g.acts {
+		a.Act()
+		g.acts[i] = nil
+	}
+	g.acts = g.acts[:0]
+	g.r.freeGroups = append(g.r.freeGroups, g)
 }
 
 // barrier is a reusable sense-reversing barrier for the window loop:

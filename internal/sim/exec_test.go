@@ -184,23 +184,67 @@ func TestExecSendCanonicalOrder(t *testing.T) {
 	}
 }
 
-// TestExecDropsPastHorizon pins the Send drop rule: a message
-// timestamped after the current Run's horizon is never delivered, and
-// the run still terminates with every clock at the horizon.
-func TestExecDropsPastHorizon(t *testing.T) {
+// TestExecDefersPastHorizon pins the cross-Run message rule: a message
+// timestamped after the current Run's horizon is not executed by that
+// Run (every clock still lands exactly on the horizon), but it is not
+// lost either — a later Run covering its timestamp executes it, exactly
+// as the sequential kernel carries pending events across RunUntil
+// slices. Sliced drives (the CLI's -progress mode) depend on this.
+func TestExecDefersPastHorizon(t *testing.T) {
 	e := uniformExec(2)
 	var log execLog
 	e.Sched(0).At(time.Microsecond, func() {
-		e.Send(0, 1, time.Millisecond, actionFunc(func() { log.add("dropped") }))
+		e.Send(0, 1, time.Millisecond, actionFunc(func() { log.add("deferred@%v", e.Sched(1).Now()) }))
 	})
 	e.Run(10 * time.Microsecond)
 	if len(log.entries) != 0 {
-		t.Errorf("message past the horizon executed: %v", log.entries)
+		t.Errorf("message past the horizon executed early: %v", log.entries)
 	}
 	for i := 0; i < 2; i++ {
 		if now := e.Sched(i).Now(); now != 10*time.Microsecond {
 			t.Errorf("region %d clock = %v, want 10µs", i, now)
 		}
+	}
+	e.Run(time.Millisecond)
+	if got := fmt.Sprint(log.entries); got != "[deferred@1ms]" {
+		t.Errorf("after the covering Run executed %v, want [deferred@1ms]", log.entries)
+	}
+}
+
+// TestExecGroupsSameInstantMessages pins the pooled group injection:
+// messages agreeing on (at, sentAt) fire as ONE scheduler event while
+// running their actions in canonical source order, and the message
+// counter still counts them individually.
+func TestExecGroupsSameInstantMessages(t *testing.T) {
+	e := uniformExec(3)
+	var log execLog
+	at := 10 * execTestDelay
+	// Regions 0 and 1 each send from events at the same instant, so all
+	// four messages share (at, sentAt) and must coalesce; region 2's own
+	// local marker at the same instant fires separately.
+	for _, from := range []int{0, 1} {
+		from := from
+		e.Sched(from).At(execTestDelay, func() {
+			e.Send(from, 2, at, actionFunc(func() { log.add("r%d-a", from) }))
+			e.Send(from, 2, at, actionFunc(func() { log.add("r%d-b", from) }))
+		})
+	}
+	e.Sched(2).At(at, func() { log.add("local") })
+	e.Run(time.Millisecond)
+	// Local events schedule with an even sub key below any injected
+	// message's odd key at the same send time, so the marker runs first.
+	want := "[local r0-a r0-b r1-a r1-b]"
+	if got := fmt.Sprint(log.entries); got != want {
+		t.Errorf("executed %v, want %v", log.entries, want)
+	}
+	if got := e.Messages(); got != 4 {
+		t.Errorf("Messages() = %d, want 4", got)
+	}
+	// 3 source events + 1 local marker + 1 group event for the 4
+	// coalesced messages... the two source regions fire one event each,
+	// region 2 fires its marker plus the single group.
+	if fired := e.Fired(); fired != 4 {
+		t.Errorf("Fired() = %d, want 4 (two sends, one marker, one pooled group)", fired)
 	}
 }
 
