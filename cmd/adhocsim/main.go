@@ -11,10 +11,13 @@
 //	adhocsim -exp fig7 -replications 8  # mean ± 95% CI over 8 seeds
 //	adhocsim -exp fig3 -json -workers 4 # machine-readable, bounded pool
 //
+//	adhocsim -exp churn -replications 8 # graceful degradation vs churn rate
+//
 //	adhocsim -list-scenarios            # the built-in scenario library
 //	adhocsim -scenario hidden-terminal  # run a preset by name
 //	adhocsim -scenario spec.json -replications 8 -json
 //	adhocsim -scenario random-16k -scheduler calendar -progress
+//	adhocsim -scenario churn-random-16k -max-wall 5m  # bounded wall clock
 //
 // Replications fan out across -workers goroutines (default: all CPUs)
 // through the internal/runner harness; results are bit-identical for
@@ -41,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig2, fig3, fig4, table3, fig7, fig9, fig11, fig12, chain, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig2, fig3, fig4, table3, fig7, fig9, fig11, fig12, chain, churn, all")
 	seed := flag.Uint64("seed", 42, "root random seed; replication seeds derive from it")
 	dur := flag.Duration("dur", 10*time.Second, "measurement horizon for throughput experiments")
 	packets := flag.Int("packets", 200, "probes per distance for loss sweeps")
@@ -60,8 +63,10 @@ func main() {
 	hops := flag.Int("hops", 8, "longest chain for -exp chain (hops, not stations)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	maxWall := flag.Duration("max-wall", 0, "wall-clock budget for the whole invocation; on expiry, flush profiles, note the partial results, and exit")
 	flag.Parse()
 
+	startWallGuard(*maxWall)
 	startProfiles(*cpuProfile, *memProfile)
 	// Flush profiles on normal return and on panic alike; flushProfiles
 	// (not exit) so a panic keeps unwinding and prints its trace.
@@ -195,8 +200,20 @@ func main() {
 		emit(experiments.RenderFourNode(
 			"Figure 12. Symmetric scenario, 2 Mbit/s, 25/62.5/25 m", "4->3", cells), cells)
 	})
-	// The chain sweep is an extension beyond the paper's figures, so it
-	// runs only when named — "all" keeps meaning "the paper".
+	// The chain and churn sweeps are extensions beyond the paper's
+	// figures, so they run only when named — "all" keeps meaning "the
+	// paper".
+	if *exp == "churn" {
+		cfg := experiments.ChurnConfig{Seed: *seed, Duration: *dur}
+		points, err := experiments.ChurnReps(cfg, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
+			exit(1)
+		}
+		emit(experiments.RenderChurn(cfg, points), points)
+		fmt.Println()
+		ok = true
+	}
 	if *exp == "chain" {
 		if *routingProto != routing.ProtocolStatic && *routingProto != routing.ProtocolDSDV {
 			fmt.Fprintf(os.Stderr, "adhocsim: -routing %q: want one of %v\n", *routingProto, routing.Protocols())
@@ -227,6 +244,23 @@ func main() {
 		flag.Usage()
 		exit(2)
 	}
+}
+
+// startWallGuard arms the -max-wall wall-clock budget: when the timer
+// fires, the process notes which results are missing, flushes any
+// profiles collected so far, and exits nonzero. A hard exit (not a
+// cooperative cancel) is deliberate — the guard exists for unattended
+// sweeps on shared machines, where a run that blows its budget must
+// yield the box even if a kernel loop is wedged; whatever was already
+// printed stands as partial results.
+func startWallGuard(budget time.Duration) {
+	if budget <= 0 {
+		return
+	}
+	time.AfterFunc(budget, func() {
+		fmt.Fprintf(os.Stderr, "adhocsim: -max-wall %v exceeded; results printed so far are partial\n", budget)
+		exit(3)
+	})
 }
 
 // memProfilePath is the heap-profile destination registered by

@@ -7,8 +7,10 @@ package app
 
 import (
 	"encoding/binary"
+	"errors"
 	"time"
 
+	"adhocsim/internal/mac"
 	"adhocsim/internal/network"
 	"adhocsim/internal/node"
 	"adhocsim/internal/transport"
@@ -31,9 +33,17 @@ type CBR struct {
 	started bool
 	filling bool // re-entrancy guard: queue-space events fire inside SendTo
 	retry   bool // a saturating-mode retry tick is pending
+	paused  bool // flow outage (fault engine): offer nothing until Resume
 
-	// Sent counts datagrams handed to UDP successfully.
-	Sent uint64
+	// Sent counts datagrams handed to UDP successfully. Attempts counts
+	// every offered datagram, delivered or not — the delivery-ratio
+	// denominator under faults (a paced tick that finds no route, or a
+	// crashed source MAC, is an attempt that produced a loss). DownErr
+	// counts the attempts refused because this station's own MAC was
+	// powered down: the source-side share of downtime-attributed loss.
+	Sent     uint64
+	Attempts uint64
+	DownErr  uint64
 }
 
 // retryInterval is how soon a saturating source retries after a send
@@ -67,14 +77,34 @@ func (c *CBR) Start() {
 }
 
 func (c *CBR) tickPaced() {
-	c.sendOne()
+	// A paused flow keeps its tick chain alive — the outage must not
+	// shift the post-resume tick phase — but offers nothing.
+	if !c.paused {
+		c.sendOne()
+	}
 	// The source's timers live on its own station's scheduler, which in
 	// parallel mode is the station's region scheduler.
 	c.from.Sched.After(c.interval, c.tickPaced)
 }
 
+// Pause suspends the flow (fault-engine outage). Paced ticks keep
+// firing but offer nothing; saturating sources stop refilling.
+func (c *CBR) Pause() { c.paused = true }
+
+// Resume lifts a Pause. Saturating sources are re-kicked immediately;
+// paced sources pick up at their next tick.
+func (c *CBR) Resume() {
+	if !c.paused {
+		return
+	}
+	c.paused = false
+	if c.started && c.interval == 0 {
+		c.fill()
+	}
+}
+
 func (c *CBR) fill() {
-	if c.filling {
+	if c.filling || c.paused {
 		return
 	}
 	c.filling = true
@@ -99,9 +129,13 @@ func (c *CBR) fill() {
 }
 
 func (c *CBR) sendOne() bool {
+	c.Attempts++
 	payload := make([]byte, c.size)
 	binary.BigEndian.PutUint32(payload, c.seq)
 	if err := c.from.UDP.SendTo(payload, c.dst, c.port, c.port); err != nil {
+		if errors.Is(err, mac.ErrDown) {
+			c.DownErr++
+		}
 		return false
 	}
 	c.seq++
@@ -121,15 +155,48 @@ type UDPSink struct {
 	Gaps     uint64
 	Reorders uint64
 
+	// Route-recovery accounting under faults. MarkFault stamps a fault
+	// instant; the first datagram delivered after each pending marker
+	// closes it and records the delay as a recovery sample. Markers
+	// still pending at the end of the run are the flow's Unrecovered
+	// faults.
+	Recovered   uint64
+	RecoverySum time.Duration
+	RecoveryMax time.Duration
+
+	pending []time.Duration
 	haveSeq bool
 	nextSeq uint32
 }
 
+// MarkFault records a fault instant affecting this flow; the next
+// delivery closes it as a recovery sample.
+func (s *UDPSink) MarkFault(t time.Duration) {
+	s.pending = append(s.pending, t)
+}
+
+// Unrecovered reports the number of fault markers no delivery ever
+// closed.
+func (s *UDPSink) Unrecovered() int { return len(s.pending) }
+
 // ListenUDP attaches the sink to a station's UDP port.
 func (s *UDPSink) ListenUDP(st *node.Station, port uint16) {
+	sched := st.Sched
 	st.UDP.Listen(port, func(payload []byte, _ network.Addr, _ uint16) {
 		s.Received++
 		s.Bytes += uint64(len(payload))
+		if len(s.pending) > 0 {
+			now := sched.Now()
+			for _, m := range s.pending {
+				d := now - m
+				s.Recovered++
+				s.RecoverySum += d
+				if d > s.RecoveryMax {
+					s.RecoveryMax = d
+				}
+			}
+			s.pending = s.pending[:0]
+		}
 		if len(payload) < seqHeaderBytes {
 			return
 		}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"adhocsim/internal/runner"
+	"adhocsim/internal/scenario"
+	"adhocsim/internal/stats"
+)
+
+// This file measures graceful degradation under churn: how DSDV's
+// delivered goodput, delivery ratio and route-recovery time decay as
+// relay stations crash and restart at increasing Poisson rates on the
+// 5x5 mesh. The corners (every flow endpoint) never churn, so the
+// sweep isolates what relay churn costs the control plane — every lost
+// packet is a routing loss or a repair in progress, never a dead
+// endpoint.
+
+// ChurnConfig parameterizes RunChurn.
+type ChurnConfig struct {
+	// RatesPerMin are the churn rates swept, in expected relay crashes
+	// per minute; 0 is the fault-free baseline. Default: 0, 15, 30, 60.
+	RatesPerMin []float64
+	// MinDown and MaxDown bound each crash's downtime, drawn uniformly
+	// (default 500 ms .. 2 s).
+	MinDown, MaxDown time.Duration
+	// Duration is the measurement horizon per point (default 10s).
+	Duration time.Duration
+	// Seed roots each point's run; replication seeds derive from it.
+	Seed uint64
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if len(c.RatesPerMin) == 0 {
+		c.RatesPerMin = []float64{0, 15, 30, 60}
+	}
+	if c.MinDown == 0 {
+		c.MinDown = 500 * time.Millisecond
+	}
+	if c.MaxDown == 0 {
+		c.MaxDown = 2 * time.Second
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	return c
+}
+
+// Spec compiles one point of the sweep: the mesh-5x5-multihop preset
+// (two corner-to-corner DSDV flows) with Poisson churn over the 21
+// relay stations at the given rate. Rate 0 drops the faults block
+// entirely — the fault-free baseline.
+func (c ChurnConfig) Spec(ratePerMin float64) (scenario.Spec, error) {
+	c = c.withDefaults()
+	spec, err := scenario.Preset("mesh-5x5-multihop")
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	spec.Name = fmt.Sprintf("churn-%gpm", ratePerMin)
+	spec.Description = "goodput vs churn rate sweep point"
+	spec.Seed = c.Seed
+	spec.Duration = scenario.Duration(c.Duration)
+	if ratePerMin > 0 {
+		var relays []int
+		for s := 0; s < 25; s++ {
+			if s != 0 && s != 4 && s != 20 && s != 24 { // corners carry the flows
+				relays = append(relays, s)
+			}
+		}
+		spec.Faults = &scenario.FaultSpec{
+			Churn: &scenario.FaultChurn{
+				RatePerMin: ratePerMin,
+				MinDown:    scenario.Duration(c.MinDown),
+				MaxDown:    scenario.Duration(c.MaxDown),
+				Stations:   relays,
+			},
+		}
+	}
+	return spec, nil
+}
+
+// ChurnPoint is one row of the goodput-vs-churn-rate result. Goodput
+// and control overhead sum over the two mesh flows / all stations;
+// the graceful-degradation columns average over the flows and are
+// negative for the fault-free baseline row, where no fault metrics
+// exist to report.
+type ChurnPoint struct {
+	RatePerMin float64 `json:"rate_per_min"`
+	// Kbps is the summed end-to-end goodput (replication mean) and
+	// KbpsCI its 95% confidence half-width.
+	Kbps   float64 `json:"kbps"`
+	KbpsCI float64 `json:"kbps_ci95"`
+	// Delivery is the mean per-flow delivery ratio (delivered sends over
+	// attempted sends) and DeliveryCI its confidence half-width; -1 on
+	// the baseline row.
+	Delivery   float64 `json:"delivery,omitempty"`
+	DeliveryCI float64 `json:"delivery_ci95,omitempty"`
+	// RecoveryMs is the mean time to restore delivery after a fault
+	// instant (downtime plus DSDV re-convergence); RecoveryMaxMs the
+	// mean per-run worst case. -1 on the baseline row.
+	RecoveryMs    float64 `json:"recovery_ms,omitempty"`
+	RecoveryMaxMs float64 `json:"recovery_max_ms,omitempty"`
+	// Unrecovered is the mean count of fault instants the flows never
+	// delivered past within the horizon; -1 on the baseline row.
+	Unrecovered float64 `json:"unrecovered,omitempty"`
+	// DownSecs is the mean total station downtime per run in seconds.
+	DownSecs float64 `json:"down_secs"`
+	// CtlKbps is the DSDV control overhead summed over all stations.
+	CtlKbps float64 `json:"ctl_kbps"`
+}
+
+// RunChurn measures delivery degradation versus churn rate: one point
+// per configured rate, rate 0 first as the fault-free baseline.
+func RunChurn(cfg ChurnConfig) ([]ChurnPoint, error) {
+	return ChurnReps(cfg, Rep{})
+}
+
+// ChurnReps is RunChurn with replication: each point aggregates
+// rep.Replications independently seeded runs.
+func ChurnReps(cfg ChurnConfig, rep Rep) ([]ChurnPoint, error) {
+	cfg = cfg.withDefaults()
+	var points []ChurnPoint
+	for _, rate := range cfg.RatesPerMin {
+		spec, err := cfg.Spec(rate)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := scenario.Replicate(spec, rep.reps(), rep.Workers, rep.Progress)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: churn point %g/min: %w", rate, err)
+		}
+		p := ChurnPoint{
+			RatePerMin: rate,
+			Delivery:   -1, DeliveryCI: -1, RecoveryMs: -1, RecoveryMaxMs: -1, Unrecovered: -1,
+		}
+		for _, f := range sum.Flows {
+			p.Kbps += f.Kbps.Mean
+			p.KbpsCI += f.Kbps.CI95
+		}
+		if rate > 0 {
+			p.Delivery, p.DeliveryCI, p.RecoveryMs, p.RecoveryMaxMs, p.Unrecovered = 0, 0, 0, 0, 0
+			faulted := 0
+			for _, f := range sum.Flows {
+				if f.Delivery == nil {
+					continue
+				}
+				faulted++
+				p.Delivery += f.Delivery.Mean
+				p.DeliveryCI += f.Delivery.CI95
+				p.RecoveryMs += f.RecoveryMs.Mean
+				p.RecoveryMaxMs += f.RecoveryMaxMs.Mean
+				p.Unrecovered += f.Unrecovered.Mean
+			}
+			if faulted > 0 {
+				n := float64(faulted)
+				p.Delivery /= n
+				p.DeliveryCI /= n
+				p.RecoveryMs /= n
+				p.RecoveryMaxMs /= n
+			}
+		}
+		down := runner.SummarizeBy(sum.Runs, func(r scenario.Result) float64 {
+			var d time.Duration
+			for _, st := range r.Stations {
+				d += st.DownTime.D()
+			}
+			return d.Seconds()
+		})
+		p.DownSecs = down.Mean
+		ctl := runner.SummarizeBy(sum.Runs, func(r scenario.Result) float64 {
+			var bytes uint64
+			for _, st := range r.Stations {
+				bytes += st.CtlBytes
+			}
+			return stats.Kbps(bytes, r.Duration.D())
+		})
+		p.CtlKbps = ctl.Mean
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// RenderChurn prints the sweep as the CLI table: one row per churn
+// rate, baseline first.
+func RenderChurn(cfg ChurnConfig, points []ChurnPoint) string {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Graceful degradation vs churn rate (5x5 mesh, dsdv routing, %v, downtime %v–%v)\n",
+		cfg.Duration, cfg.MinDown, cfg.MaxDown)
+	fmt.Fprintf(&b, "%-9s | %-18s | %-16s | %-20s | %-6s | %-9s | %s\n",
+		"rate/min", "goodput [kbit/s]", "delivery", "recovery [ms]", "unrec", "down [s]", "ctl [kbit/s]")
+	for _, p := range points {
+		delivery, recovery, unrec := "       -", "          -", "   -"
+		if p.Delivery >= 0 {
+			delivery = fmt.Sprintf("%5.3f ± %-5.3f", p.Delivery, p.DeliveryCI)
+			recovery = fmt.Sprintf("%6.1f (max %6.1f)", p.RecoveryMs, p.RecoveryMaxMs)
+			unrec = fmt.Sprintf("%4.1f", p.Unrecovered)
+		}
+		fmt.Fprintf(&b, "%-9g | %7.1f ± %-7.1f | %-16s | %-20s | %-6s | %9.2f | %10.2f\n",
+			p.RatePerMin, p.Kbps, p.KbpsCI, delivery, recovery, unrec, p.DownSecs, p.CtlKbps)
+	}
+	return b.String()
+}

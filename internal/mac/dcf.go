@@ -27,6 +27,9 @@ import (
 
 // CCAChanged implements medium.Handler.
 func (m *MAC) CCAChanged(busy bool) {
+	if m.down {
+		return // crashed: PowerUp re-reads carrier sense directly
+	}
 	if busy {
 		m.channelBusy()
 	} else {
@@ -227,6 +230,9 @@ func (m *MAC) txData(pkt *msdu) {
 
 // TxDone implements medium.Handler: our frame left the air.
 func (m *MAC) TxDone() {
+	if m.down {
+		return // a frame in the air when the station crashed: discard its outcome
+	}
 	if m.respInFlight {
 		m.respInFlight = false
 		return
@@ -387,6 +393,9 @@ func (m *MAC) scheduleResponse(f *frame.Frame, rate phy.Rate) {
 
 // RxEnd implements medium.Handler: a locked reception finished.
 func (m *MAC) RxEnd(f *frame.Frame, rate phy.Rate, rssiDBm float64, ok bool) {
+	if m.down {
+		return // crashed radios never lock, but gate defensively
+	}
 	if !ok {
 		m.phyError()
 		return

@@ -207,6 +207,7 @@ type MAC struct {
 	available   bool          // channel available (CCA idle && NAV expired)
 	availSince  time.Duration
 	lastRxError bool // most recent reception ended in a PHY error (EIFS owed)
+	down        bool // station crashed (PowerDown); all PHY callbacks gated
 
 	resumeEv  sim.Event // fires when IFS after idle has elapsed
 	slotEv    sim.Event // next backoff slot tick
@@ -292,6 +293,7 @@ func (m *MAC) Reset(src *sim.Source) {
 	m.backoff = -1
 	m.nav = 0
 	m.lastRxError = false
+	m.down = false
 	m.resumeEv = sim.Event{}
 	m.slotEv = sim.Event{}
 	m.navEv = sim.Event{}
@@ -374,6 +376,9 @@ func (m *MAC) SendControl(payload []byte, to frame.Addr, rate phy.Rate) error {
 // enqueue admits one MSDU (rate and flags already chosen) to the
 // transmit queue.
 func (m *MAC) enqueue(pkt *msdu) error {
+	if m.down {
+		return ErrDown
+	}
 	if len(pkt.payload) > MaxMSDU {
 		return ErrTooLarge
 	}

@@ -144,6 +144,12 @@ type Medium struct {
 	// (SetIncremental).
 	incrementalOff bool
 
+	// deg is the run's link-degradation timeline (nil when no fault
+	// schedule is installed): an immutable piecewise-constant offset the
+	// link-power composition adds after the shadowing terms. See
+	// SetDegradation for the cache-invalidation contract.
+	deg *DegTimeline
+
 	// Pools: reused across transmissions so the steady-state event flow
 	// allocates nothing.
 	freeTx []*transmission
@@ -261,6 +267,7 @@ const (
 	gainBase   uint8 = 1 << iota // baseDBm matches the radios' mobility epochs
 	gainStatic                   // staticDB drawn for this run
 	gainFade                     // fadeDB matches fadeEpoch
+	gainDeg                      // degDB matches both endpoints' degradation epochs
 	gainMW                       // mw matches the current composed power
 )
 
@@ -281,10 +288,12 @@ const (
 type linkGain struct {
 	txMove, rxMove uint64 // mobility epochs the base term was computed at
 	fadeEpoch      uint64 // coherence epoch of the cached dynamic fade
+	txDegE, rxDegE uint64 // degradation epochs of the cached deg offset
 	have           uint8  // gain* validity bits
 	baseDBm        float64
 	staticDB       float64
 	fadeDB         float64
+	degDB          float64
 	mw             float64
 }
 
@@ -304,13 +313,22 @@ func (g *linkGain) milliwatt(dbm float64) float64 {
 // memoizes the linear form; nil when the cache is disabled). The
 // receiver side is read entirely from the slot-indexed SoA arrays. The
 // composition — path-loss base plus static shadow plus epoch fade,
-// summed in that order — mirrors phy.Profile.RxPowerDBm exactly, so a
-// cache hit is bit-identical to the direct computation the gainCacheOff
-// path performs.
+// summed in that order, then the fault engine's degradation offset when
+// a timeline is installed — mirrors phy.Profile.RxPowerDBm exactly, so
+// a cache hit is bit-identical to the direct computation the
+// gainCacheOff path performs (which decomposes to the same ordered sum
+// when degradation is active).
 func (m *Medium) linkPower(from *Radio, rxSlot int32, now time.Duration) (float64, *linkGain) {
 	rxID := uint64(m.soaID[rxSlot])
 	if m.gainCacheOff {
 		d := phy.Dist(from.pos, m.soaPos[rxSlot])
+		if dg := m.deg; dg != nil {
+			// Degradation composes after the shadowing sum — the same
+			// association as the cached path's base + ((static+fade)+deg).
+			shadow := from.profile.Fading.ShadowDB(m.src, uint64(from.id), rxID, now)
+			shadow += dg.linkOffset(from.slot, rxSlot, now)
+			return from.profile.MeanRxPowerDBm(d) + shadow, nil
+		}
 		return from.profile.RxPowerDBm(m.src, uint64(from.id), rxID, d, now), nil
 	}
 	// The per-transmitter row is sized lazily: only radios that
@@ -348,6 +366,16 @@ func (m *Medium) linkPower(from *Radio, rxSlot int32, now time.Duration) (float6
 			g.have &^= gainMW
 		}
 		shadow += g.fadeDB
+	}
+	if dg := m.deg; dg != nil {
+		te, re := dg.epoch(from.slot, now), dg.epoch(rxSlot, now)
+		if g.have&gainDeg == 0 || g.txDegE != te || g.rxDegE != re {
+			g.degDB = dg.linkOffset(from.slot, rxSlot, now)
+			g.txDegE, g.rxDegE = te, re
+			g.have |= gainDeg
+			g.have &^= gainMW
+		}
+		shadow += g.degDB
 	}
 	return g.baseDBm + shadow, g
 }
@@ -480,6 +508,15 @@ type Radio struct {
 	fan      []arrivalTarget
 	fanEpoch uint64 // posEpoch the fan was computed at (0 = never)
 	fanFade  uint64 // transmitter-profile fade epoch of the memo
+	fanDeg   uint64 // degradation global epoch of the memo (0 when no timeline)
+
+	// down marks a crashed station's radio: energy bookkeeping continues
+	// (the radio stays in the spatial index and its arrivals stay summed,
+	// so CCA state is consistent the instant it restarts) but the receive
+	// chain never locks — every arrival is missed — and the MAC layer
+	// guarantees no transmission originates here. Set by PowerDown,
+	// cleared by PowerUp and Reset.
+	down bool
 
 	// locked is the transmission the receive chain is synchronized to.
 	locked       *transmission
@@ -711,6 +748,7 @@ func (r *Radio) Reset(pos phy.Position) {
 	r.maxInterfMW = 0
 	r.ccaMW, r.floorMW, r.interfMW = 0, r.lin.NoiseFloorMW, 0
 	r.ccaBusy = false
+	r.down = false
 	r.txEndPending = sim.Event{}
 	r.FramesSent, r.FramesDecoded, r.FramesErrored = 0, 0, 0
 	r.FramesMissed, r.CaptureSwitches = 0, 0
@@ -724,6 +762,33 @@ func (r *Radio) CCABusy() bool { return r.ccaBusy }
 
 // Transmitting reports whether the radio is currently transmitting.
 func (r *Radio) Transmitting() bool { return r.state == stateTransmit }
+
+// Down reports whether the radio is powered down (crashed station).
+func (r *Radio) Down() bool { return r.down }
+
+// PowerDown detaches the radio's receive chain: any lock is abandoned
+// and no arrival can lock until PowerUp. The radio deliberately stays
+// in the spatial index and its in-air energy bookkeeping keeps running
+// — a crash must not mutate the field geometry mid-run (the parallel
+// kernel's partition and every candidate/fan memo depend on it), and
+// carrying the sums through the downtime makes CCA exact the instant
+// the station restarts. A transmission already in the air when the
+// crash fires plays out naturally (its trailing edges are already
+// scheduled at every receiver); the MAC layer discards its TxDone.
+func (r *Radio) PowerDown() {
+	r.down = true
+	r.locked = nil
+	r.maxInterfMW = 0
+	r.updateCCA()
+}
+
+// PowerUp re-enables the receive chain after a PowerDown. CCA state is
+// already exact — the energy folds ran through the downtime — so the
+// restarted MAC can read CCABusy immediately.
+func (r *Radio) PowerUp() {
+	r.down = false
+	r.updateCCA()
+}
 
 // Transmit puts f on the air at the given rate and returns its airtime.
 // The radio's receive chain is disabled for the duration (half-duplex);
@@ -778,7 +843,11 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 		if pf := &r.profile.Fading; pf.SigmaDB != 0 {
 			fade = pf.FadeEpoch(now)
 		}
-		if !m.gainCacheOff && r.fanEpoch == m.posEpoch && r.fanFade == fade {
+		var degE uint64
+		if m.deg != nil {
+			degE = m.deg.globalEpoch(now)
+		}
+		if !m.gainCacheOff && r.fanEpoch == m.posEpoch && r.fanFade == fade && r.fanDeg == degE {
 			tx.targets = append(tx.targets, r.fan...)
 		} else {
 			for _, slot := range slots {
@@ -786,7 +855,7 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 			}
 			if !m.gainCacheOff {
 				r.fan = append(r.fan[:0], tx.targets...)
-				r.fanEpoch, r.fanFade = m.posEpoch, fade
+				r.fanEpoch, r.fanFade, r.fanDeg = m.posEpoch, fade, degE
 			}
 		}
 	}
@@ -885,6 +954,11 @@ func (r *Radio) arrivalStart(tx *transmission, powerDBm, powerMW float64) {
 	}
 
 	switch {
+	case r.down:
+		// Crashed station: the receive chain is off. The arrival still
+		// entered the energy bookkeeping above, so CCA state is exact at
+		// restart, but nothing can lock.
+		r.FramesMissed++
 	case r.state == stateTransmit:
 		// Half-duplex: cannot hear anything while transmitting.
 		r.FramesMissed++

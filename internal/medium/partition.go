@@ -277,7 +277,11 @@ func (m *Medium) partTransmit(r *Radio, f *frame.Frame, rate phy.Rate) time.Dura
 	if pf := &r.profile.Fading; pf.SigmaDB != 0 {
 		fade = pf.FadeEpoch(now)
 	}
-	if !m.gainCacheOff && r.fanEpoch == m.posEpoch && r.fanFade == fade {
+	var degE uint64
+	if m.deg != nil {
+		degE = m.deg.globalEpoch(now)
+	}
+	if !m.gainCacheOff && r.fanEpoch == m.posEpoch && r.fanFade == fade && r.fanDeg == degE {
 		tx.targets = append(tx.targets, r.fan...)
 	} else {
 		if cap(tx.targets) < len(slots) {
@@ -288,7 +292,7 @@ func (m *Medium) partTransmit(r *Radio, f *frame.Frame, rate phy.Rate) time.Dura
 		}
 		if !m.gainCacheOff {
 			r.fan = append(r.fan[:0], tx.targets...)
-			r.fanEpoch, r.fanFade = m.posEpoch, fade
+			r.fanEpoch, r.fanFade, r.fanDeg = m.posEpoch, fade, degE
 		}
 	}
 	r.txEndPending = sched.AtAction(now+air, &r.txEnd)

@@ -193,6 +193,15 @@ type DSDV struct {
 	ownSeq uint32
 	rounds int // periodic advertisement rounds completed (fast-start pacing)
 
+	// gen is the station's incarnation counter: every scheduled closure
+	// captures the generation it was armed under and becomes inert when
+	// Crash advances it. The fault engine cannot cancel the closures
+	// individually (no handles are stored — see triggerPending below),
+	// and dropping them wholesale via scheduler Reset would rewind the
+	// whole run; the generation gate retires them in O(1) without
+	// touching the scheduler.
+	gen uint64
+
 	// triggerPending coalesces bursts of route changes into one
 	// pending triggered update. The scheduled events themselves need no
 	// stored handles: nothing ever cancels them individually, and Reset
@@ -245,7 +254,13 @@ func (r *DSDV) stream() *rand.Rand {
 // periodic schedule behind it.
 func (r *DSDV) Start() {
 	delay := time.Duration(r.rng.Int63n(int64(r.cfg.SettleDelay)))
-	r.sched.After(delay, r.periodic)
+	gen := r.gen
+	r.sched.After(delay, func() {
+		if gen != r.gen {
+			return
+		}
+		r.periodic()
+	})
 }
 
 // Reset returns the instance to its just-built state for a new run on
@@ -270,6 +285,39 @@ func (r *DSDV) Reset() {
 	r.Start()
 }
 
+// Crash tears the control plane down mid-run (station crash, fault
+// engine): the route table, neighbor admission state, blacklist and
+// failure streaks all vanish — a rebooted daemon remembers none of them
+// — and the stack's installed routes empty. The generation counter
+// advances so every armed closure (initial, periodic, triggered)
+// retires inert. Two things deliberately survive: ownSeq, because the
+// network still circulates our pre-crash sequence numbers and a restart
+// that rewound to zero would advertise itself as staler than its own
+// ghost and be ignored forever; and the counters, which are this run's
+// measurement record, not the daemon's state.
+func (r *DSDV) Crash() {
+	r.gen++
+	clear(r.table)
+	r.order = r.order[:0]
+	clear(r.blacklist)
+	clear(r.failStreak)
+	clear(r.admitted)
+	clear(r.strongStreak)
+	r.rounds = 0
+	r.triggerPending = false
+	r.node.Stack.ClearRoutes()
+}
+
+// Restart brings a crashed control plane back: the own sequence number
+// jumps past anything the pre-crash incarnation could have advertised
+// (so peers re-adopt us immediately) and the advertisement schedule
+// re-arms from scratch, fast-start rounds included — a rejoining
+// station needs to re-learn its neighborhood just like a cold one.
+func (r *DSDV) Restart() {
+	r.ownSeq += 2
+	r.Start()
+}
+
 // fastStartRounds is how many initial advertisement rounds run at a
 // quarter of the configured interval. Neighbor admission needs
 // AdmitStreak consecutive strong samples, and samples only arrive with
@@ -288,7 +336,13 @@ func (r *DSDV) periodic() {
 		interval /= 4
 	}
 	jitter := time.Duration(r.rng.Int63n(int64(r.cfg.SettleDelay)))
-	r.sched.After(interval+jitter, r.periodic)
+	gen := r.gen
+	r.sched.After(interval+jitter, func() {
+		if gen != r.gen {
+			return
+		}
+		r.periodic()
+	})
 }
 
 // scheduleTriggered arms a near-immediate advertisement after the
@@ -299,7 +353,11 @@ func (r *DSDV) scheduleTriggered() {
 	}
 	r.triggerPending = true
 	delay := time.Duration(r.rng.Int63n(int64(r.cfg.SettleDelay)))
+	gen := r.gen
 	r.sched.After(delay, func() {
+		if gen != r.gen {
+			return
+		}
 		r.triggerPending = false
 		r.Counters.TriggeredUpdates++
 		r.sendAdvert()

@@ -18,7 +18,9 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -34,6 +36,30 @@ type Config struct {
 	// of finished jobs and the total. Calls are serialized and done is
 	// strictly increasing, so it can drive a progress meter directly.
 	Progress func(done, total int)
+	// OnPanic, when non-nil, receives every job that panicked — the
+	// panic is recovered with its stack, the job's result stays the zero
+	// value, and the fan-out continues, so one bad replication reports
+	// as a failed rep instead of killing a whole sweep. Calls happen on
+	// the caller's goroutine after all workers drain, in job-index
+	// order. When nil, the first failing job (lowest index) is
+	// re-panicked on the caller's goroutine as a *PanicError once the
+	// fan-out drains — an unrecovered panic inside a worker goroutine
+	// would otherwise kill the process with no chance for the caller to
+	// attach context.
+	OnPanic func(*PanicError)
+}
+
+// PanicError describes a fan-out job that panicked: which job, what it
+// panicked with, and the goroutine stack captured at the point of
+// recovery.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
 }
 
 func (c Config) workers() int {
@@ -70,6 +96,25 @@ func MapWith[S, T any](cfg Config, n int, fn func(state *S, i int) T) []T {
 	if n == 0 {
 		return out
 	}
+	// Every job runs under a recover guard: a panicking replication is
+	// captured with its stack instead of tearing down the worker
+	// goroutine (which would kill the process before the caller could
+	// attach any context). Captures surface after the drain — see
+	// Config.OnPanic.
+	panics := make([]*PanicError, n)
+	runJob := func(state *S, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+				// The panic may have left the worker's reusable state (an
+				// arena mid-reset) inconsistent; zero it so the next job
+				// this worker runs rebuilds from scratch.
+				var zero S
+				*state = zero
+			}
+		}()
+		out[i] = fn(state, i)
+	}
 	workers := cfg.workers()
 	if workers > n {
 		workers = n
@@ -77,12 +122,12 @@ func MapWith[S, T any](cfg Config, n int, fn func(state *S, i int) T) []T {
 	if workers <= 1 {
 		var state S
 		for i := 0; i < n; i++ {
-			out[i] = fn(&state, i)
+			runJob(&state, i)
 			if cfg.Progress != nil {
 				cfg.Progress(i+1, n)
 			}
 		}
-		return out
+		return finishPanics(cfg, out, panics)
 	}
 
 	var next, done atomic.Int64
@@ -99,7 +144,7 @@ func MapWith[S, T any](cfg Config, n int, fn func(state *S, i int) T) []T {
 				if i >= n {
 					return
 				}
-				out[i] = fn(&state, i)
+				runJob(&state, i)
 				d := int(done.Add(1))
 				if cfg.Progress != nil {
 					mu.Lock()
@@ -115,6 +160,22 @@ func MapWith[S, T any](cfg Config, n int, fn func(state *S, i int) T) []T {
 		}()
 	}
 	wg.Wait()
+	return finishPanics(cfg, out, panics)
+}
+
+// finishPanics surfaces recovered job panics after a fan-out drains:
+// handed to OnPanic in job-index order when set, otherwise the first
+// failure is re-panicked on the caller's goroutine.
+func finishPanics[T any](cfg Config, out []T, panics []*PanicError) []T {
+	for _, p := range panics {
+		if p == nil {
+			continue
+		}
+		if cfg.OnPanic == nil {
+			panic(p)
+		}
+		cfg.OnPanic(p)
+	}
 	return out
 }
 

@@ -257,6 +257,93 @@ func TestMapWithReusesStatePerWorker(t *testing.T) {
 	}
 }
 
+// TestMapRecoversPanickingJob injects a panicking job into fan-outs at
+// both worker counts: with OnPanic set, every other job completes, the
+// failed rep reports with its stack, and the fan-out returns normally.
+func TestMapRecoversPanickingJob(t *testing.T) {
+	const n, bad = 20, 7
+	for _, workers := range []int{1, 4} {
+		var failed []*PanicError
+		out := Map(Config{Workers: workers, OnPanic: func(p *PanicError) {
+			failed = append(failed, p)
+		}}, n, func(i int) int {
+			if i == bad {
+				panic("injected failure")
+			}
+			return i * i
+		})
+		if len(failed) != 1 {
+			t.Fatalf("workers=%d: %d failed reps, want 1", workers, len(failed))
+		}
+		p := failed[0]
+		if p.Index != bad || p.Value != "injected failure" {
+			t.Fatalf("workers=%d: failure = {index %d, value %v}", workers, p.Index, p.Value)
+		}
+		if !strings.Contains(string(p.Stack), "runner_test") {
+			t.Fatalf("workers=%d: panic stack does not reach the job: %s", workers, p.Stack)
+		}
+		if !strings.Contains(p.Error(), "job 7 panicked") {
+			t.Fatalf("workers=%d: error = %q", workers, p.Error())
+		}
+		for i, v := range out {
+			want := i * i
+			if i == bad {
+				want = 0 // failed rep keeps the zero result
+			}
+			if v != want {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+	}
+}
+
+// TestMapRepanicsWithoutHandler pins the no-handler contract: the first
+// failing job re-panics as a *PanicError on the caller's goroutine
+// after the fan-out drains — never as a bare goroutine death.
+func TestMapRepanicsWithoutHandler(t *testing.T) {
+	var ran atomic.Int64
+	defer func() {
+		r := recover()
+		p, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", r, r)
+		}
+		if p.Index != 2 {
+			t.Fatalf("panic index = %d, want 2", p.Index)
+		}
+		// The drain guarantee: the other jobs still ran to completion.
+		if got := ran.Load(); got != 5 {
+			t.Fatalf("%d healthy jobs ran, want 5", got)
+		}
+	}()
+	Map(Config{Workers: 3}, 6, func(i int) int {
+		if i == 2 {
+			panic(i)
+		}
+		ran.Add(1)
+		return i
+	})
+	t.Fatal("fan-out with a panicking job returned normally")
+}
+
+// TestMapWithZeroesStateAfterPanic checks the arena guard: a panic
+// mid-job zeroes the worker's reusable cell so the next job rebuilds
+// instead of inheriting half-mutated state.
+func TestMapWithZeroesStateAfterPanic(t *testing.T) {
+	type cell struct{ poisoned bool }
+	out := MapWith(Config{Workers: 1, OnPanic: func(*PanicError) {}}, 3, func(s *cell, i int) bool {
+		wasPoisoned := s.poisoned
+		if i == 1 {
+			s.poisoned = true
+			panic("mid-job failure")
+		}
+		return wasPoisoned
+	})
+	if out[2] {
+		t.Fatal("job after a panicked job saw the poisoned state cell")
+	}
+}
+
 // TestReplicateWithSeedsMatchReplicate pins ReplicateWith to the same
 // seed schedule as Replicate.
 func TestReplicateWithSeedsMatchReplicate(t *testing.T) {

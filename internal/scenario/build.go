@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adhocsim/internal/app"
+	"adhocsim/internal/faults"
 	"adhocsim/internal/mac"
 	"adhocsim/internal/medium"
 	"adhocsim/internal/node"
@@ -55,6 +56,10 @@ type Instance struct {
 	routers      []*routing.DSDV
 	graph        *routing.Graph
 	nbrThreshDBm []float64
+
+	// faultSched is the replication's compiled fault schedule; nil
+	// without a faults block. Recompiled per seed (churn re-draws).
+	faultSched *faults.Schedule
 }
 
 // Build validates the spec and compiles it into a live network with all
@@ -167,6 +172,9 @@ func Build(spec Spec) (*Instance, error) {
 		return nil, err
 	}
 	inst.attachWorkload()
+	if err := inst.installFaults(positions); err != nil {
+		return nil, err
+	}
 	return inst, nil
 }
 
@@ -490,7 +498,7 @@ func (inst *Instance) Reset(seed uint64) error {
 		return err
 	}
 	inst.attachWorkload()
-	return nil
+	return inst.installFaults(positions)
 }
 
 // startMobility wires the movement model into the scheduler.
@@ -562,6 +570,24 @@ type FlowResult struct {
 	// packet actually traveled (TTL accounting at the destination): 1
 	// for a direct link, 0 when nothing was delivered end to end.
 	Hops int `json:"hops"`
+
+	// Graceful-degradation metrics, populated only for UDP flows of
+	// faulted runs (a "faults" block in the spec). Attempts counts every
+	// datagram the source offered, delivered or not; DeliveryRatio is
+	// Received/Attempts. DowntimeLoss is the share of the loss
+	// attributable to a crashed endpoint: sends the source's own dead
+	// MAC refused, plus offered instants while the destination was down.
+	// RecoveredFaults/RecoveryMeanMs/RecoveryMaxMs summarize route
+	// recovery: each crash or partition onset starts a clock that the
+	// flow's next delivery stops; UnrecoveredFaults counts clocks still
+	// running at the end of the run.
+	Attempts          uint64  `json:"attempts,omitempty"`
+	DeliveryRatio     float64 `json:"delivery_ratio,omitempty"`
+	DowntimeLoss      uint64  `json:"downtime_loss,omitempty"`
+	RecoveredFaults   uint64  `json:"recovered_faults,omitempty"`
+	UnrecoveredFaults int     `json:"unrecovered_faults,omitempty"`
+	RecoveryMeanMs    float64 `json:"recovery_mean_ms,omitempty"`
+	RecoveryMaxMs     float64 `json:"recovery_max_ms,omitempty"`
 }
 
 // StationResult reports one station's MAC and network-layer counters
@@ -589,6 +615,13 @@ type StationResult struct {
 	// no airtime.
 	CtlAdverts uint64 `json:"ctl_adverts,omitempty"`
 	CtlBytes   uint64 `json:"ctl_bytes,omitempty"`
+
+	// Up/down accounting under faults (populated only for faulted
+	// runs): time spent up and crashed over the horizon, and the number
+	// of crash windows that hit the station.
+	UpTime   Duration `json:"up_time,omitempty"`
+	DownTime Duration `json:"down_time,omitempty"`
+	Crashes  int      `json:"crashes,omitempty"`
 }
 
 // Result is one scenario run's complete outcome.
@@ -655,8 +688,13 @@ func (inst *Instance) Collect(horizon time.Duration) Result {
 		} else if fr.Received > 0 {
 			fr.Hops = 1
 		}
+		inst.collectFaultFlow(&fr, i)
 		res.Flows = append(res.Flows, fr)
 		kbps = append(kbps, fr.GoodputKbps)
+	}
+	var upDown []faults.UpDown
+	if inst.faultSched != nil {
+		upDown = inst.faultSched.StationUpDown()
 	}
 	for i, st := range inst.Net.Stations {
 		sr := StationResult{
@@ -675,6 +713,11 @@ func (inst *Instance) Collect(horizon time.Duration) Result {
 		if inst.routers != nil {
 			sr.CtlAdverts = inst.routers[i].Counters.AdvertsSent
 			sr.CtlBytes = inst.routers[i].Counters.ControlBytes
+		}
+		if upDown != nil {
+			sr.DownTime = Duration(upDown[i].Down)
+			sr.UpTime = Duration(horizon - upDown[i].Down)
+			sr.Crashes = upDown[i].Crashes
 		}
 		res.Stations = append(res.Stations, sr)
 	}

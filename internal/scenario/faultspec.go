@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"fmt"
+
+	"adhocsim/internal/faults"
+)
+
+// FaultCrash is the JSON form of faults.Crash: station down at "at",
+// back up at "until" (omitted = stays down).
+type FaultCrash struct {
+	Station int      `json:"station"`
+	At      Duration `json:"at"`
+	Until   Duration `json:"until,omitempty"`
+}
+
+// FaultDegradation is the JSON form of faults.Degradation: the
+// station's shadowing deepens by offset_db (≤ 0) during [from, to).
+type FaultDegradation struct {
+	Station  int      `json:"station"`
+	From     Duration `json:"from"`
+	To       Duration `json:"to"`
+	OffsetDB float64  `json:"offset_db"`
+}
+
+// FaultPartition is the JSON form of faults.Partition: links crossing
+// the rectangle's boundary lose atten_db (≥ 0) during [from, to).
+type FaultPartition struct {
+	X0      float64  `json:"x0"`
+	Y0      float64  `json:"y0"`
+	X1      float64  `json:"x1"`
+	Y1      float64  `json:"y1"`
+	From    Duration `json:"from"`
+	To      Duration `json:"to"`
+	AttenDB float64  `json:"atten_db"`
+}
+
+// FaultOutage is the JSON form of faults.Outage: the flow's source is
+// paused during [from, to).
+type FaultOutage struct {
+	Flow int      `json:"flow"`
+	From Duration `json:"from"`
+	To   Duration `json:"to"`
+}
+
+// FaultChurn is the JSON form of faults.Churn: Poisson station crashes
+// at rate_per_min over [start, end) (end omitted = horizon), downtimes
+// uniform in [min_down, max_down], victims from stations (omitted =
+// all).
+type FaultChurn struct {
+	RatePerMin float64  `json:"rate_per_min"`
+	MinDown    Duration `json:"min_down"`
+	MaxDown    Duration `json:"max_down"`
+	Stations   []int    `json:"stations,omitempty"`
+	Start      Duration `json:"start,omitempty"`
+	End        Duration `json:"end,omitempty"`
+}
+
+// FaultSpec is the Spec's optional "faults" block: a declarative fault
+// plan compiled per replication against the replication's seed (see
+// internal/faults). All randomness is fixed before the run starts, so
+// faulted runs stay bit-identical across worker counts, scheduler
+// backends and arena reuse.
+type FaultSpec struct {
+	Crashes      []FaultCrash       `json:"crashes,omitempty"`
+	Degradations []FaultDegradation `json:"degradations,omitempty"`
+	Partitions   []FaultPartition   `json:"partitions,omitempty"`
+	Outages      []FaultOutage      `json:"outages,omitempty"`
+	Churn        *FaultChurn        `json:"churn,omitempty"`
+}
+
+// params converts the JSON block to the engine's plan.
+func (f *FaultSpec) params() faults.Params {
+	p := faults.Params{}
+	for _, c := range f.Crashes {
+		p.Crashes = append(p.Crashes, faults.Crash{Station: c.Station, At: c.At.D(), Until: c.Until.D()})
+	}
+	for _, d := range f.Degradations {
+		p.Degradations = append(p.Degradations, faults.Degradation{
+			Station: d.Station, From: d.From.D(), To: d.To.D(), OffsetDB: d.OffsetDB,
+		})
+	}
+	for _, pt := range f.Partitions {
+		p.Partitions = append(p.Partitions, faults.Partition{
+			X0: pt.X0, Y0: pt.Y0, X1: pt.X1, Y1: pt.Y1,
+			From: pt.From.D(), To: pt.To.D(), AttenDB: pt.AttenDB,
+		})
+	}
+	for _, o := range f.Outages {
+		p.Outages = append(p.Outages, faults.Outage{Flow: o.Flow, From: o.From.D(), To: o.To.D()})
+	}
+	if c := f.Churn; c != nil {
+		p.Churn = &faults.Churn{
+			RatePerMin: c.RatePerMin,
+			MinDown:    c.MinDown.D(), MaxDown: c.MaxDown.D(),
+			Stations: c.Stations,
+			Start:    c.Start.D(), End: c.End.D(),
+		}
+	}
+	return p
+}
+
+// checkFaults validates the faults block against the expanded topology
+// and resolved flow matrix. Beyond the engine's own structural checks
+// it enforces a scenario-level rule: a crashable station must not be a
+// TCP flow endpoint — the TCP state machines have no crash semantics
+// (a mid-run connection reset is a transport feature this engine does
+// not model), so the spec must keep faults off them.
+func (s Spec) checkFaults(n int, flows []Flow) error {
+	f := s.Faults
+	if f == nil {
+		return nil
+	}
+	p := f.params()
+	if err := p.Validate(n, len(flows), s.Duration.D()); err != nil {
+		return err
+	}
+	tcpEnds := map[int]bool{}
+	for _, fl := range flows {
+		if fl.Transport == TransportTCP {
+			tcpEnds[fl.Src] = true
+			tcpEnds[fl.Dst] = true
+		}
+	}
+	if len(tcpEnds) > 0 {
+		for i, c := range p.Crashes {
+			if tcpEnds[c.Station] {
+				return fmt.Errorf("scenario: faults crash %d targets station %d, a tcp flow endpoint (crashes are only supported on udp endpoints and relays)", i, c.Station)
+			}
+		}
+		if c := p.Churn; c != nil {
+			if len(c.Stations) == 0 {
+				return fmt.Errorf("scenario: faults churn over all stations clashes with tcp flows; list churn stations explicitly, excluding the tcp endpoints")
+			}
+			for _, st := range c.Stations {
+				if tcpEnds[st] {
+					return fmt.Errorf("scenario: faults churn station %d is a tcp flow endpoint", st)
+				}
+			}
+		}
+	}
+	for i, o := range p.Outages {
+		if flows[o.Flow].Transport != TransportUDP {
+			return fmt.Errorf("scenario: faults outage %d pauses flow %d, which is not udp (only cbr sources can pause)", i, o.Flow)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"time"
+
+	"adhocsim/internal/faults"
+	"adhocsim/internal/phy"
+)
+
+// installFaults compiles the spec's faults block against the current
+// seed and arms the run: the degradation timeline goes to the medium
+// (a pure function of time — no events needed, the gain caches key on
+// its epochs), and every crash, restart and outage edge is scheduled
+// as an ordinary simulator event on the affected station's own
+// scheduler, which in parallel mode is that station's region — each
+// event touches only region-owned state, so the parallel kernel needs
+// no special casing. Build and Reset both call it right after
+// attachWorkload, so the t=0 event layout is identical on the fresh
+// and arena-reuse paths.
+func (inst *Instance) installFaults(positions []phy.Position) error {
+	inst.faultSched = nil
+	f := inst.Spec.Faults
+	if f == nil {
+		inst.Net.Medium.SetDegradation(nil)
+		return nil
+	}
+	sched, err := faults.Compile(f.params(), inst.Net.Source, inst.Spec.Duration.D(), len(positions), len(inst.Spec.Flows))
+	if err != nil {
+		return err
+	}
+	inst.faultSched = sched
+	inst.Net.Medium.SetDegradation(sched.Timeline(positions))
+	for _, ev := range sched.Events() {
+		switch ev.Kind {
+		case faults.CrashEvent:
+			st := inst.Net.Stations[ev.Station]
+			idx := ev.Station
+			st.Sched.After(ev.At, func() {
+				// MAC before radio: dropping the radio's receive lock edges
+				// carrier sense, and the MAC must already be gated when that
+				// CCAChanged callback fires.
+				st.MAC.PowerDown()
+				st.Radio.PowerDown()
+				if len(inst.routers) > 0 {
+					inst.routers[idx].Crash()
+				}
+			})
+		case faults.RestartEvent:
+			st := inst.Net.Stations[ev.Station]
+			idx := ev.Station
+			st.Sched.After(ev.At, func() {
+				// Mirror of the crash order: radio first so the MAC's
+				// PowerUp reads live carrier sense.
+				st.Radio.PowerUp()
+				st.MAC.PowerUp()
+				if len(inst.routers) > 0 {
+					inst.routers[idx].Restart()
+				}
+			})
+		case faults.OutageStartEvent:
+			if cbr := inst.cbrs[ev.Flow]; cbr != nil {
+				// The source's own scheduler: its tick/refill timers live
+				// there.
+				inst.Net.Stations[inst.Spec.Flows[ev.Flow].Src].Sched.After(ev.At, cbr.Pause)
+			}
+		case faults.OutageEndEvent:
+			if cbr := inst.cbrs[ev.Flow]; cbr != nil {
+				inst.Net.Stations[inst.Spec.Flows[ev.Flow].Src].Sched.After(ev.At, cbr.Resume)
+			}
+		}
+	}
+	// Recovery markers: every route-breaking instant is stamped on every
+	// UDP sink (on the sink station's scheduler — it reads the clock at
+	// delivery time); the first delivery after a marker closes it as a
+	// route-recovery sample.
+	instants := sched.FaultInstants()
+	for i, fl := range inst.Spec.Flows {
+		sink := inst.udpSinks[i]
+		if sink == nil {
+			continue
+		}
+		dst := inst.Net.Stations[fl.Dst]
+		for _, t := range instants {
+			at := t
+			dst.Sched.After(at, func() { sink.MarkFault(at) })
+		}
+	}
+	return nil
+}
+
+// FaultSchedule exposes the replication's compiled fault schedule for
+// tests and instrumentation; nil without a faults block.
+func (inst *Instance) FaultSchedule() *faults.Schedule { return inst.faultSched }
+
+// collectFaultFlow fills one UDP flow's graceful-degradation metrics.
+func (inst *Instance) collectFaultFlow(fr *FlowResult, i int) {
+	sched := inst.faultSched
+	if sched == nil {
+		return
+	}
+	f := inst.Spec.Flows[i]
+	if f.Transport != TransportUDP {
+		return
+	}
+	cbr, sink := inst.cbrs[i], inst.udpSinks[i]
+	fr.Attempts = cbr.Attempts
+	if cbr.Attempts > 0 {
+		fr.DeliveryRatio = float64(sink.Received) / float64(cbr.Attempts)
+	}
+	fr.DowntimeLoss = cbr.DownErr + sched.DowntimeTicks(f.Src, f.Dst, f.Interval.D())
+	fr.RecoveredFaults = sink.Recovered
+	fr.UnrecoveredFaults = sink.Unrecovered()
+	if sink.Recovered > 0 {
+		fr.RecoveryMeanMs = float64(sink.RecoverySum) / float64(sink.Recovered) / float64(time.Millisecond)
+		fr.RecoveryMaxMs = float64(sink.RecoveryMax) / float64(time.Millisecond)
+	}
+}

@@ -17,6 +17,11 @@ import (
 // presets returns the library, rebuilt per call so callers can mutate
 // their copy freely.
 func presets() []Spec {
+	ps := basePresets()
+	return append(ps, faultPresets(ps)...)
+}
+
+func basePresets() []Spec {
 	return []Spec{
 		{
 			Name:        "paper-two-node",
@@ -175,6 +180,71 @@ func presets() []Spec {
 			Mobility: &Mobility{Model: ModelRandomWaypoint, Width: 300, Height: 300, Stations: []int{1}},
 		},
 	}
+}
+
+// faultPresets derives the churn library from the base presets: the
+// same topologies and traffic matrices, with a "faults" block layered
+// on top, so a faulted preset's healthy twin is always one name away.
+func faultPresets(ps []Spec) []Spec {
+	base := func(name string) Spec {
+		for _, p := range ps {
+			if p.Name == name {
+				return p
+			}
+		}
+		panic("scenario: fault preset derives from unknown base " + name)
+	}
+
+	mesh := base("mesh-5x5-multihop")
+	mesh.Name = "churn-mesh-5x5"
+	mesh.Description = "mesh-5x5-multihop under relay churn: random relay crashes (~30/min, 0.5–2 s down) plus a " +
+		"20 dB shadowing episode on the center station, DSDV re-converging around every hole"
+	// Churn only the relays — the four corner flow endpoints stay up, so
+	// delivery ratio isolates route breakage from endpoint downtime.
+	relays := make([]int, 0, 21)
+	for i := 0; i < 25; i++ {
+		if i != 0 && i != 4 && i != 20 && i != 24 {
+			relays = append(relays, i)
+		}
+	}
+	mesh.Faults = &FaultSpec{
+		Churn: &FaultChurn{
+			RatePerMin: 30,
+			MinDown:    Duration(500 * time.Millisecond),
+			MaxDown:    Duration(2 * time.Second),
+			Stations:   relays,
+		},
+		Degradations: []FaultDegradation{
+			{Station: 12, From: Duration(2 * time.Second), To: Duration(4 * time.Second), OffsetDB: -20},
+		},
+	}
+
+	chain := base("chain-8")
+	chain.Name = "partition-heal-chain-8"
+	chain.Description = "chain-8 cut in half: a 60 dB partition isolates stations 4–7 from 3 s to 6 s, the 7-hop " +
+		"flow dies mid-chain, and DSDV re-discovers the string when the partition heals"
+	chain.Faults = &FaultSpec{
+		// The chain runs along the x axis at 20 m spacing; the box covers
+		// stations 4–7 (x = 80–140 m).
+		Partitions: []FaultPartition{
+			{X0: 70, Y0: -1, X1: 1000, Y1: 1,
+				From: Duration(3 * time.Second), To: Duration(6 * time.Second), AttenDB: 60},
+		},
+	}
+
+	r16k := random16k()
+	r16k.Name = "churn-random-16k"
+	r16k.Description = "random-16k with city-wide churn: ten station crashes per second (0.2–0.6 s down) across the " +
+		"whole field — the fault engine at the city-scale kernel's 16k tier"
+	r16k.Faults = &FaultSpec{
+		Churn: &FaultChurn{
+			RatePerMin: 600,
+			MinDown:    Duration(200 * time.Millisecond),
+			MaxDown:    Duration(600 * time.Millisecond),
+		},
+	}
+
+	return []Spec{mesh, chain, r16k}
 }
 
 // gridNeighborFlows returns count paced single-hop UDP flows between

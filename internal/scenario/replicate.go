@@ -26,6 +26,16 @@ type FlowSummary struct {
 	// Hops summarizes the MAC hop count the flow's packets actually
 	// traveled (1 = direct link, 0 = nothing delivered that run).
 	Hops runner.Summary `json:"hops"`
+
+	// Graceful-degradation summaries, present only for UDP flows of
+	// faulted scenarios (a "faults" block in the spec): delivery ratio
+	// under churn, downtime-attributed loss, per-run mean and max route
+	// recovery after each fault, and faults never recovered from.
+	Delivery      *runner.Summary `json:"delivery_ratio,omitempty"`
+	DowntimeLoss  *runner.Summary `json:"downtime_loss,omitempty"`
+	RecoveryMs    *runner.Summary `json:"recovery_ms,omitempty"`
+	RecoveryMaxMs *runner.Summary `json:"recovery_max_ms,omitempty"`
+	Unrecovered   *runner.Summary `json:"unrecovered,omitempty"`
 }
 
 // StationSummary aggregates one station's network-layer activity over
@@ -35,6 +45,11 @@ type StationSummary struct {
 	Forwarded runner.Summary `json:"forwarded"`
 	Dropped   runner.Summary `json:"dropped"`
 	CtlBytes  runner.Summary `json:"ctl_bytes"`
+
+	// DownSecs and Crashes summarize the station's downtime under
+	// faults; present only for faulted scenarios.
+	DownSecs *runner.Summary `json:"down_secs,omitempty"`
+	Crashes  *runner.Summary `json:"crashes,omitempty"`
 }
 
 // Summary aggregates a replicated scenario: per-flow goodput/retry/loss
@@ -384,6 +399,17 @@ func summarize(spec Spec, runs []Result) Summary {
 			Gaps:      runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Flows[i].Gaps) }),
 			Hops:      runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Flows[i].Hops) }),
 		}
+		if spec.Faults != nil && runs[0].Flows[i].Transport == TransportUDP {
+			sumOf := func(f func(Result) float64) *runner.Summary {
+				s := runner.SummarizeBy(runs, f)
+				return &s
+			}
+			fs.Delivery = sumOf(func(r Result) float64 { return r.Flows[i].DeliveryRatio })
+			fs.DowntimeLoss = sumOf(func(r Result) float64 { return float64(r.Flows[i].DowntimeLoss) })
+			fs.RecoveryMs = sumOf(func(r Result) float64 { return r.Flows[i].RecoveryMeanMs })
+			fs.RecoveryMaxMs = sumOf(func(r Result) float64 { return r.Flows[i].RecoveryMaxMs })
+			fs.Unrecovered = sumOf(func(r Result) float64 { return float64(r.Flows[i].UnrecoveredFaults) })
+		}
 		if len(spec.Flows) > i && spec.Flows[i].NearestDst {
 			// When seed-dependent topology re-draws paired this flow to
 			// different stations across replications, replication 0's
@@ -403,12 +429,18 @@ func summarize(spec Spec, runs []Result) Summary {
 	if sum.Routing != "" {
 		for i := range runs[0].Stations {
 			i := i
-			sum.Stations = append(sum.Stations, StationSummary{
+			ss := StationSummary{
 				Station:   i,
 				Forwarded: runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Stations[i].NetForwarded) }),
 				Dropped:   runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Stations[i].NetDropped) }),
 				CtlBytes:  runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Stations[i].CtlBytes) }),
-			})
+			}
+			if spec.Faults != nil {
+				down := runner.SummarizeBy(runs, func(r Result) float64 { return r.Stations[i].DownTime.D().Seconds() })
+				crashes := runner.SummarizeBy(runs, func(r Result) float64 { return float64(r.Stations[i].Crashes) })
+				ss.DownSecs, ss.Crashes = &down, &crashes
+			}
+			sum.Stations = append(sum.Stations, ss)
 		}
 	}
 	return sum
@@ -464,6 +496,26 @@ func Render(s Summary) string {
 		fmt.Fprintf(&b, "%-6d %-10s %-12s %8.1f ± %-7.1f %6.1f ± %-5.1f %6.1f %6.1f\n",
 			f.Flow, route, f.Transport,
 			f.Kbps.Mean, f.Kbps.CI95, f.Retries.Mean, f.Retries.CI95, f.Gaps.Mean, f.Hops.Mean)
+	}
+	faulted := false
+	for _, f := range s.Flows {
+		if f.Delivery != nil {
+			faulted = true
+			break
+		}
+	}
+	if faulted {
+		fmt.Fprintf(&b, "graceful degradation under faults:\n")
+		fmt.Fprintf(&b, "%-6s %-16s %-14s %-22s %s\n",
+			"flow", "delivery", "downtime-loss", "recovery [ms]", "unrecovered")
+		for _, f := range s.Flows {
+			if f.Delivery == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%-6d %6.3f ± %-7.3f %8.1f %10.1f (max %6.1f) %8.1f\n",
+				f.Flow, f.Delivery.Mean, f.Delivery.CI95, f.DowntimeLoss.Mean,
+				f.RecoveryMs.Mean, f.RecoveryMaxMs.Mean, f.Unrecovered.Mean)
+		}
 	}
 	fmt.Fprintf(&b, "Jain fairness: %.3f ± %.3f\n", s.Fairness.Mean, s.Fairness.CI95)
 	if s.Routing != "" {

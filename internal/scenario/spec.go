@@ -379,6 +379,12 @@ type Spec struct {
 	// Mobility optionally moves stations during the run.
 	Mobility *Mobility `json:"mobility,omitempty"`
 
+	// Faults optionally injects deterministic faults — station crashes,
+	// link degradation, regional partitions, flow outages, random churn
+	// — compiled per replication against the replication's seed (see
+	// internal/faults and FaultSpec).
+	Faults *FaultSpec `json:"faults,omitempty"`
+
 	// Parallel opts the run into the space-partitioned parallel kernel.
 	// Ignored (sequential fallback) when Mobility is set, and stripped
 	// by Replicate (sweeps parallelize across seeds instead).
@@ -543,6 +549,9 @@ func (s Spec) check() ([]phy.Position, []Flow, error) {
 	}
 	if s.Duration <= 0 {
 		return nil, nil, fmt.Errorf("scenario: non-positive duration %v", s.Duration.D())
+	}
+	if err := s.checkFaults(n, s.Flows); err != nil {
+		return nil, nil, err
 	}
 	return positions, s.Flows, nil
 }
