@@ -36,11 +36,13 @@ import (
 
 	"adhocsim/internal/capacity"
 	"adhocsim/internal/experiments"
+	"adhocsim/internal/obs"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/routing"
 	"adhocsim/internal/runner"
 	"adhocsim/internal/scenario"
 	"adhocsim/internal/sim"
+	"adhocsim/internal/trace"
 )
 
 func main() {
@@ -64,6 +66,11 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	maxWall := flag.Duration("max-wall", 0, "wall-clock budget for the whole invocation; on expiry, flush profiles, note the partial results, and exit")
+	obsOut := flag.String("obs", "", "write a run report (metrics snapshot, per-phase spans, trace tail) as JSON to this file after a -scenario run")
+	obsServe := flag.String("obs-serve", "", "serve live observability during a -scenario run on this address: /metrics (Prometheus text), /report (JSON), /debug/pprof/")
+	traceLv := flag.String("trace", "", "trace MAC retry/backoff and route-change events to stderr during a -scenario run: info or debug")
+	benchJSON := flag.String("bench-json", "", "benchmark the -scenario workload and write ns/logical-event and allocation figures as JSON to this file instead of running normally")
+	benchIters := flag.Int("bench-iterations", 5, "timed iterations for -bench-json (the report takes medians)")
 	flag.Parse()
 
 	startWallGuard(*maxWall)
@@ -95,17 +102,23 @@ func main() {
 				fmt.Fprintf(os.Stderr, "adhocsim: -%s has no effect in -scenario mode\n", f.Name)
 			}
 		})
-		runScenario(*scen, *reps, *workers, *jsonOut, *progress, seedOv, durOv, *parRegions, *partitioner, *sched)
+		runScenario(*scen, scenarioOpts{
+			reps: *reps, workers: *workers,
+			jsonOut: *jsonOut, progress: *progress,
+			seed: seedOv, dur: durOv,
+			parRegions: *parRegions, partitioner: *partitioner, sched: *sched,
+			obsOut: *obsOut, obsServe: *obsServe, traceLevel: *traceLv,
+			benchJSON: *benchJSON, benchIters: *benchIters,
+		})
 		return
 	}
-	if *parRegions != "" {
-		fmt.Fprintln(os.Stderr, "adhocsim: -parallel-regions has no effect outside -scenario mode")
-	}
-	if *partitioner != "" {
-		fmt.Fprintln(os.Stderr, "adhocsim: -partitioner has no effect outside -scenario mode")
-	}
-	if *sched != "" {
-		fmt.Fprintln(os.Stderr, "adhocsim: -scheduler has no effect outside -scenario mode")
+	for _, f := range []struct{ name, v string }{
+		{"parallel-regions", *parRegions}, {"partitioner", *partitioner}, {"scheduler", *sched},
+		{"obs", *obsOut}, {"obs-serve", *obsServe}, {"trace", *traceLv}, {"bench-json", *benchJSON},
+	} {
+		if f.v != "" {
+			fmt.Fprintf(os.Stderr, "adhocsim: -%s has no effect outside -scenario mode\n", f.name)
+		}
 	}
 
 	rep := experiments.Rep{Replications: *reps, Workers: *workers}
@@ -347,95 +360,207 @@ func listScenarios() {
 	fmt.Printf("Event-queue backends (\"scheduler\" spec block, -scheduler): %s, %s\n", sim.KindHeap, sim.KindCalendar)
 }
 
+// scenarioOpts carries every -scenario mode knob into runScenario.
+type scenarioOpts struct {
+	reps, workers                  int
+	jsonOut, progress              bool
+	seed                           *uint64
+	dur                            *time.Duration
+	parRegions, partitioner, sched string
+	obsOut, obsServe, traceLevel   string
+	benchJSON                      string
+	benchIters                     int
+}
+
 // runScenario resolves ref as a spec file (when it exists or ends in
 // .json) or a preset name, applies any explicit -seed/-dur/-scheduler
 // overrides and the -parallel-regions/-partitioner kernel selection,
 // runs it with replication, and prints the summary.
-func runScenario(ref string, reps, workers int, jsonOut, progress bool, seed *uint64, dur *time.Duration, parRegions, partitioner, sched string) {
+//
+// Every human-facing stderr line — the exec-plan line, progress meters,
+// trace output, observability notices — funnels through one obs.Status
+// writer, so parallel replications can never splice lines into each
+// other or into a live progress meter.
+func runScenario(ref string, o scenarioOpts) {
+	status := obs.NewStatus(os.Stderr)
+	fail := func(code int, err error) {
+		status.Linef("adhocsim: %v", err)
+		exit(code)
+	}
 	spec, err := loadScenario(ref)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-		exit(2)
+		fail(2, err)
 	}
-	if seed != nil {
-		spec.Seed = *seed
+	if o.seed != nil {
+		spec.Seed = *o.seed
 	}
-	if dur != nil {
-		spec.Duration = scenario.Duration(*dur)
+	if o.dur != nil {
+		spec.Duration = scenario.Duration(*o.dur)
 	}
-	if sched != "" {
-		spec.Scheduler = sched
+	if o.sched != "" {
+		spec.Scheduler = o.sched
 	}
-	if parRegions != "" {
+	if o.parRegions != "" {
 		// With one replication the whole -workers budget is the
 		// region-worker count; with a sweep, leave Workers unset so
 		// Replicate's splitWorkers divides the budget between
 		// replication and region workers instead of oversubscribing.
-		regionWorkers := workers
-		if reps > 1 {
+		regionWorkers := o.workers
+		if o.reps > 1 {
 			regionWorkers = 0
 		}
-		par, err := parseParallelRegions(parRegions, regionWorkers)
+		par, err := parseParallelRegions(o.parRegions, regionWorkers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-			exit(2)
+			fail(2, err)
 		}
 		spec.Parallel = par
 	}
-	if partitioner != "" {
+	if o.partitioner != "" {
 		if spec.Parallel == nil {
-			fmt.Fprintln(os.Stderr, "adhocsim: -partitioner has no effect without a parallel block (-parallel-regions or the spec's \"parallel\")")
+			status.Linef("adhocsim: -partitioner has no effect without a parallel block (-parallel-regions or the spec's \"parallel\")")
 		} else {
-			spec.Parallel.Partitioner = partitioner
+			spec.Parallel.Partitioner = o.partitioner
 		}
 	}
-	if progress {
+
+	// Observability wiring. The registry and tracer ride the spec
+	// (JSON-invisible fields), so every layer below publishes into them;
+	// results stay byte-identical either way — the equivalence tests in
+	// internal/scenario pin that.
+	obsOn := o.obsOut != "" || o.obsServe != ""
+	var reg *obs.Registry
+	if obsOn {
+		reg = obs.NewRegistry()
+		spec.Obs = &scenario.ObsParams{Enabled: true}
+		spec.ObsRegistry = reg
+	}
+	var tr *trace.Tracer
+	if o.traceLevel != "" {
+		lv, err := trace.ParseLevel(o.traceLevel)
+		if err != nil {
+			fail(2, err)
+		}
+		if lv != trace.LevelOff {
+			// The base handle's clock is a placeholder: every subsystem
+			// gets a WithClock handle bound to its own scheduler.
+			tr = trace.New(status.Writer(), lv, func() time.Duration { return 0 })
+			spec.Tracer = tr
+		}
+	}
+	rec := trace.NewSpanRecorder()
+	report := func() *obs.Report {
+		return &obs.Report{
+			Scenario:     spec.Name,
+			Seed:         spec.Seed,
+			Replications: o.reps,
+			Spans:        rec.Records(),
+			Metrics:      reg.Snapshot(),
+			TraceTail:    tr.Recent(64),
+		}
+	}
+	if o.obsServe != "" {
+		addr, err := obs.Serve(o.obsServe, reg, report)
+		if err != nil {
+			fail(1, err)
+		}
+		status.Linef("adhocsim: observability on http://%s (/metrics /report /debug/pprof/)", addr)
+	}
+
+	if o.benchJSON != "" {
+		if err := runBenchJSON(spec, o.benchIters, o.benchJSON, status); err != nil {
+			fail(1, err)
+		}
+		return
+	}
+
+	if o.progress {
 		// Surface the chosen execution plan up front: the fitted region
 		// grid and how the worker budget splits between replications and
 		// regions. Nothing prints for sequential runs.
-		if plan, err := scenario.PlanExec(spec, reps, workers); err == nil && plan != nil {
-			fmt.Fprintln(os.Stderr, "adhocsim: "+plan.Plan())
+		if plan, err := scenario.PlanExec(spec, o.reps, o.workers); err == nil && plan != nil {
+			status.Linef("adhocsim: %s", plan.Plan())
 		}
 	}
 	var sum scenario.Summary
-	if progress && reps <= 1 {
+	if o.reps <= 1 && (o.progress || obsOn) {
 		// A single run has no per-replication completions to count, so
 		// -progress meters the run itself: simulated time against the
 		// horizon, plus events fired — the meter a city-scale run needs.
+		// Driving the instance here (the same 1% slices RunProgressExec
+		// takes) also gives the run report its build/run/drain phases and
+		// refreshes the live /metrics view between slices.
 		if err := spec.Validate(); err != nil {
-			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-			exit(2)
+			fail(2, err)
 		}
-		res, es, err := scenario.RunProgressExec(spec, func(now, horizon time.Duration, fired uint64) {
-			fmt.Fprintf(os.Stderr, "\rsim %v / %v  (%d events)", now.Truncate(time.Millisecond), horizon, fired)
-			if now >= horizon {
-				fmt.Fprintln(os.Stderr)
-			}
-		})
+		sp := rec.StartSpan("build")
+		inst, err := scenario.Build(spec)
+		sp.End()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-			exit(1)
+			fail(1, err)
 		}
+		horizon := inst.Spec.Duration.D()
+		sp = rec.StartSpan("run")
+		const steps = 100
+		for i := 1; i <= steps; i++ {
+			target := time.Duration(int64(horizon) * int64(i) / steps)
+			inst.Net.Run(target - inst.Net.Now())
+			inst.PublishObs()
+			if o.progress {
+				status.Progressf("sim %v / %v  (%d events)", inst.Net.Now().Truncate(time.Millisecond), horizon, inst.Net.Fired())
+			}
+		}
+		sp.End()
+		status.Done()
+		sp = rec.StartSpan("drain")
+		res := inst.Collect(horizon)
+		sp.End()
 		sum = scenario.SummarizeRuns(spec, []scenario.Result{res})
-		sum.Exec = es
+		sum.Exec = inst.ExecStats()
 	} else {
 		var prog func(done, total int)
-		if progress {
-			prog = runner.ProgressWriter(os.Stderr, "runs")
+		if o.progress {
+			prog = func(done, total int) {
+				status.Progressf("runs %d/%d", done, total)
+				if done >= total {
+					status.Done()
+				}
+			}
 		}
-		if sum, err = scenario.Replicate(spec, reps, workers, prog); err != nil {
-			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-			exit(1)
+		sp := rec.StartSpan("run")
+		sum, err = scenario.Replicate(spec, o.reps, o.workers, prog)
+		sp.End()
+		if err != nil {
+			fail(1, err)
 		}
 	}
-	if jsonOut {
+	if o.obsOut != "" {
+		if err := writeReport(o.obsOut, report()); err != nil {
+			fail(1, err)
+		}
+	}
+	if o.jsonOut {
 		if err := runner.WriteJSON(os.Stdout, sum); err != nil {
-			fmt.Fprintf(os.Stderr, "adhocsim: %v\n", err)
-			exit(1)
+			fail(1, err)
 		}
 		return
 	}
 	fmt.Print(scenario.Render(sum))
+}
+
+// writeReport writes the observability report to path ("-" = stdout).
+func writeReport(path string, rep *obs.Report) error {
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseParallelRegions turns a -parallel-regions value into the spec's

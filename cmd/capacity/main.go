@@ -21,8 +21,10 @@ import (
 
 	"adhocsim/internal/capacity"
 	"adhocsim/internal/experiments"
+	"adhocsim/internal/obs"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/runner"
+	"adhocsim/internal/trace"
 )
 
 func main() {
@@ -36,6 +38,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "root random seed for -verify")
 	dur := flag.Duration("dur", 10*time.Second, "simulated horizon per -verify replication")
 	progress := flag.Bool("progress", false, "stream -verify run progress to stderr")
+	obsOut := flag.String("obs", "", "write an observability report (phase spans) as JSON to this file after -verify")
+	obsServe := flag.String("obs-serve", "", "serve live observability during -verify on this address: /metrics, /report, /debug/pprof/")
 	flag.Parse()
 
 	if *rate == 0 {
@@ -80,6 +84,22 @@ func main() {
 	if *progress {
 		rep.Progress = runner.ProgressWriter(os.Stderr, "verify")
 	}
+	// Span-only observability (the analytic check runs below the
+	// scenario layer that feeds the metrics registry); the live endpoint
+	// still offers pprof.
+	rec := trace.NewSpanRecorder()
+	report := func() *obs.Report {
+		return &obs.Report{Seed: *seed, Replications: *reps, Spans: rec.Records()}
+	}
+	if *obsServe != "" {
+		addr, err := obs.Serve(*obsServe, nil, report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capacity: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "capacity: observability on http://%s (/report /debug/pprof/)\n", addr)
+	}
+	sp := rec.StartSpan("verify")
 	sum := experiments.ReplicateTwoNode(experiments.TwoNode{
 		Rate:       r,
 		Transport:  tr,
@@ -88,6 +108,20 @@ func main() {
 		Duration:   *dur,
 		Seed:       *seed,
 	}, rep)
+	sp.End()
+	if *obsOut != "" {
+		f, err := os.Create(*obsOut)
+		if err == nil {
+			err = report().WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capacity: -obs: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	dev := 0.0
 	if sum.IdealMbps > 0 {
 		dev = 100 * (sum.Mbps.Mean - sum.IdealMbps) / sum.IdealMbps

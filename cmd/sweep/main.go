@@ -19,8 +19,10 @@ import (
 	"os"
 
 	"adhocsim/internal/experiments"
+	"adhocsim/internal/obs"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/runner"
+	"adhocsim/internal/trace"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines; 0 = all CPUs")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of CSV")
 	progress := flag.Bool("progress", false, "stream sweep progress to stderr")
+	obsOut := flag.String("obs", "", "write an observability report (phase spans) as JSON to this file")
+	obsServe := flag.String("obs-serve", "", "serve live observability during the sweep on this address: /metrics, /report, /debug/pprof/")
 	flag.Parse()
 
 	var r phy.Rate
@@ -89,8 +93,38 @@ func main() {
 	if *progress {
 		cfg.Progress = runner.ProgressWriter(os.Stderr, "sweep")
 	}
+	// Observability is span-only here: the loss sweep drives the kernel
+	// through internal/experiments, below the scenario layer that feeds
+	// the metrics registry; the live endpoint still offers pprof.
+	rec := trace.NewSpanRecorder()
+	report := func() *obs.Report {
+		return &obs.Report{Seed: *seed, Replications: *reps, Spans: rec.Records()}
+	}
+	if *obsServe != "" {
+		addr, err := obs.Serve(*obsServe, nil, report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: observability on http://%s (/report /debug/pprof/)\n", addr)
+	}
+	sp := rec.StartSpan("sweep")
 	points := experiments.RunLossSweep(cfg)
+	sp.End()
 	crossing := experiments.CrossingDistance(points, 0.5)
+	if *obsOut != "" {
+		f, err := os.Create(*obsOut)
+		if err == nil {
+			err = report().WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -obs: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *jsonOut {
 		err := runner.WriteJSON(os.Stdout, struct {

@@ -338,6 +338,18 @@ func (s *Schedule) Events() []Event {
 	return evs
 }
 
+// EventCounts tallies a schedule's executable events by kind, indexed
+// by Kind — the planned-edge totals the obs layer publishes beside the
+// applied-edge counters the wiring increments as each event actually
+// fires (they differ only if a run stops short of the horizon).
+func (s *Schedule) EventCounts() [4]int {
+	var n [4]int
+	for _, ev := range s.Events() {
+		n[ev.Kind]++
+	}
+	return n
+}
+
 // Timeline compiles the schedule's degradations and partitions into
 // the medium's degradation timeline: per-station shadowing episodes
 // plus boundary attenuation for every partition, stations classified

@@ -5,6 +5,7 @@ import (
 
 	"adhocsim/internal/frame"
 	"adhocsim/internal/phy"
+	"adhocsim/internal/trace"
 )
 
 // This file contains the DCF engine: channel-access bookkeeping (physical
@@ -315,6 +316,14 @@ func (m *MAC) txFail(short bool) {
 		m.cw = min(2*m.cw, phy.CWMax)
 	}
 	m.backoff = m.rng.Intn(m.cw)
+	if m.tr.Enabled(trace.LevelDebug) {
+		verdict := "retry"
+		if exceeded {
+			verdict = "drop"
+		}
+		m.tr.Debugf("mac %v: tx fail to %v (short=%v retries %d/%d) %s, cw=%d backoff=%d",
+			m.cfg.Address, pkt.to, short, pkt.shortRetry, pkt.longRetry, verdict, m.cw, m.backoff)
+	}
 	if m.current == nil {
 		m.popNext()
 	}

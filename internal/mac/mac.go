@@ -21,6 +21,7 @@ import (
 	"adhocsim/internal/medium"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/sim"
+	"adhocsim/internal/trace"
 )
 
 // RTS threshold sentinels.
@@ -228,8 +229,18 @@ type MAC struct {
 	// reception; see LastRxRSSIDBm.
 	lastRxRSSI float64
 
+	// tr, when enabled, logs retry/backoff decisions (SetTracer). Purely
+	// observational: trace calls read MAC state, never change it.
+	tr *trace.Tracer
+
 	Counters Counters
 }
+
+// SetTracer installs an execution tracer on the retry/backoff paths. A
+// nil or disabled tracer costs one branch per failed attempt. Derive
+// the handle with Tracer.WithClock on this station's scheduler so the
+// timestamps follow its region clock in parallel mode.
+func (m *MAC) SetTracer(t *trace.Tracer) { m.tr = t }
 
 // Verify the MAC satisfies the medium's PHY indication interface.
 var _ medium.Handler = (*MAC)(nil)

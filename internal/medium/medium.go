@@ -164,6 +164,49 @@ type Medium struct {
 	Transmissions uint64
 	Deliveries    uint64
 	PHYErrors     uint64
+
+	// Out-of-band cache-efficiency counters (Stats). Plain fields: in
+	// sequential mode one goroutine owns the medium; in parallel mode
+	// the hot paths increment the per-region shard mirrors instead and
+	// FoldCounters folds them here at the post-join point. They are
+	// observability only — nothing reads them on a simulation path.
+	gainHits, gainMisses     uint64
+	fanReplays, fanBuilds    uint64
+	candReuses, candRebuilds uint64
+	soaRescans               uint64
+}
+
+// Stats is a point-in-time copy of the medium's counters, the raw
+// material of the obs layer's cache hit-rate metrics. In parallel mode
+// it is exact only after FoldCounters (the node layer folds after every
+// Run), and must be read from the post-join goroutine.
+type Stats struct {
+	Transmissions uint64
+	Deliveries    uint64
+	PHYErrors     uint64
+	GainHits      uint64 // lookups serving the path-loss base from cache
+	GainMisses    uint64 // lookups that recomputed the path-loss base
+	FanReplays    uint64 // transmissions replayed from the fan-out memo
+	FanBuilds     uint64 // transmissions that walked candidates and rebuilt it
+	CandReuses    uint64 // candidate-memo reuses (index walk + sort skipped)
+	CandRebuilds  uint64 // candidate-memo rebuilds after a geometry change
+	SoARescans    uint64 // arrival-list energy-fold rebuilds (trailing edges)
+}
+
+// Stats returns the medium's observability counters.
+func (m *Medium) Stats() Stats {
+	return Stats{
+		Transmissions: m.Transmissions,
+		Deliveries:    m.Deliveries,
+		PHYErrors:     m.PHYErrors,
+		GainHits:      m.gainHits,
+		GainMisses:    m.gainMisses,
+		FanReplays:    m.fanReplays,
+		FanBuilds:     m.fanBuilds,
+		CandReuses:    m.candReuses,
+		CandRebuilds:  m.candRebuilds,
+		SoARescans:    m.soaRescans,
+	}
 }
 
 // New returns an empty medium driven by sched, drawing fading values
@@ -253,6 +296,10 @@ func (m *Medium) invalidateGains() {
 // Radio.Reset.
 func (m *Medium) Reset() {
 	m.Transmissions, m.Deliveries, m.PHYErrors = 0, 0, 0
+	m.gainHits, m.gainMisses = 0, 0
+	m.fanReplays, m.fanBuilds = 0, 0
+	m.candReuses, m.candRebuilds = 0, 0
+	m.soaRescans = 0
 	if seed := m.src.Seed(); seed != m.gainSeed {
 		m.gainSeed = seed
 		m.invalidateGains()
@@ -340,12 +387,20 @@ func (m *Medium) linkPower(from *Radio, rxSlot int32, now time.Duration) (float6
 		m.gainRows[from.slot] = row
 	}
 	g := &row[rxSlot]
+	// Hit/miss classification: the cache exists to skip the
+	// transcendental path-loss base (PR 4), so a lookup is a miss only
+	// when that base recomputes. Fade/degradation epoch refreshes are
+	// cheap keyed lookups that by construction accompany *every* fan-out
+	// rebuild (the memo is keyed on those same epochs), so charging them
+	// as misses would pin the hit counter at zero forever.
+	miss := false
 	txMove, rxMove := m.soaMove[from.slot], m.soaMove[rxSlot]
 	if g.have&gainBase == 0 || g.txMove != txMove || g.rxMove != rxMove {
 		g.baseDBm = from.profile.MeanRxPowerDBm(phy.Dist(from.pos, m.soaPos[rxSlot]))
 		g.txMove, g.rxMove = txMove, rxMove
 		g.have |= gainBase
 		g.have &^= gainMW
+		miss = true
 	}
 	fad := &from.profile.Fading
 	var shadow float64
@@ -376,6 +431,21 @@ func (m *Medium) linkPower(from *Radio, rxSlot int32, now time.Duration) (float6
 			g.have &^= gainMW
 		}
 		shadow += g.degDB
+	}
+	// Hit/miss bookkeeping: linkPower only ever runs on the transmitter's
+	// owning goroutine (its region's, in parallel mode — the same
+	// discipline that makes the row mutation above safe), so the plain
+	// shard/medium counters need no atomics.
+	if sh := from.shard; sh != nil {
+		if miss {
+			sh.gainMisses++
+		} else {
+			sh.gainHits++
+		}
+	} else if miss {
+		m.gainMisses++
+	} else {
+		m.gainHits++
 	}
 	return g.baseDBm + shadow, g
 }
@@ -838,6 +908,9 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 			m.sortCandidates(slots)
 			r.cand = slots
 			r.candEpoch = m.posEpoch
+			m.candRebuilds++
+		} else {
+			m.candReuses++
 		}
 		var fade uint64
 		if pf := &r.profile.Fading; pf.SigmaDB != 0 {
@@ -849,6 +922,7 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 		}
 		if !m.gainCacheOff && r.fanEpoch == m.posEpoch && r.fanFade == fade && r.fanDeg == degE {
 			tx.targets = append(tx.targets, r.fan...)
+			m.fanReplays++
 		} else {
 			for _, slot := range slots {
 				m.propagate(tx, r, int32(slot), now)
@@ -857,6 +931,7 @@ func (r *Radio) Transmit(f *frame.Frame, rate phy.Rate) time.Duration {
 				r.fan = append(r.fan[:0], tx.targets...)
 				r.fanEpoch, r.fanFade, r.fanDeg = m.posEpoch, fade, degE
 			}
+			m.fanBuilds++
 		}
 	}
 	r.txEndPending = m.sched.AtAction(now+air, &r.txEnd)
@@ -1060,6 +1135,11 @@ func (r *Radio) interferenceFloorDBm(except *transmission) float64 {
 // the list empty, pins them back to exactly zero — no drift ever
 // accumulates).
 func (r *Radio) recomputeSums() {
+	if sh := r.shard; sh != nil {
+		sh.soaRescans++
+	} else {
+		r.m.soaRescans++
+	}
 	cca, interf := 0.0, 0.0
 	floor := r.lin.NoiseFloorMW
 	for _, a := range r.arrivals {

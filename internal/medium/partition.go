@@ -55,6 +55,14 @@ type medShard struct {
 	deliveries    uint64
 	phyErrors     uint64
 
+	// Per-region mirrors of the medium's cache-efficiency counters
+	// (Medium.Stats) — owned by the region goroutine, folded with the
+	// aggregates above.
+	gainHits, gainMisses     uint64
+	fanReplays, fanBuilds    uint64
+	candReuses, candRebuilds uint64
+	soaRescans               uint64
+
 	retMu   sync.Mutex
 	returns []*transmission
 
@@ -161,6 +169,17 @@ func (m *Medium) FoldCounters() {
 		m.Deliveries += sh.deliveries
 		m.PHYErrors += sh.phyErrors
 		sh.transmissions, sh.deliveries, sh.phyErrors = 0, 0, 0
+		m.gainHits += sh.gainHits
+		m.gainMisses += sh.gainMisses
+		m.fanReplays += sh.fanReplays
+		m.fanBuilds += sh.fanBuilds
+		m.candReuses += sh.candReuses
+		m.candRebuilds += sh.candRebuilds
+		m.soaRescans += sh.soaRescans
+		sh.gainHits, sh.gainMisses = 0, 0
+		sh.fanReplays, sh.fanBuilds = 0, 0
+		sh.candReuses, sh.candRebuilds = 0, 0
+		sh.soaRescans = 0
 	}
 }
 
@@ -272,6 +291,9 @@ func (m *Medium) partTransmit(r *Radio, f *frame.Frame, rate phy.Rate) time.Dura
 		m.sortCandidates(slots)
 		r.cand = slots
 		r.candEpoch = m.posEpoch
+		sh.candRebuilds++
+	} else {
+		sh.candReuses++
 	}
 	var fade uint64
 	if pf := &r.profile.Fading; pf.SigmaDB != 0 {
@@ -283,6 +305,7 @@ func (m *Medium) partTransmit(r *Radio, f *frame.Frame, rate phy.Rate) time.Dura
 	}
 	if !m.gainCacheOff && r.fanEpoch == m.posEpoch && r.fanFade == fade && r.fanDeg == degE {
 		tx.targets = append(tx.targets, r.fan...)
+		sh.fanReplays++
 	} else {
 		if cap(tx.targets) < len(slots) {
 			tx.targets = make([]arrivalTarget, 0, len(slots))
@@ -294,6 +317,7 @@ func (m *Medium) partTransmit(r *Radio, f *frame.Frame, rate phy.Rate) time.Dura
 			r.fan = append(r.fan[:0], tx.targets...)
 			r.fanEpoch, r.fanFade, r.fanDeg = m.posEpoch, fade, degE
 		}
+		sh.fanBuilds++
 	}
 	r.txEndPending = sched.AtAction(now+air, &r.txEnd)
 	nt := len(tx.targets)

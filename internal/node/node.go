@@ -235,6 +235,25 @@ func (n *Network) Fired() uint64 {
 	return n.Sched.Fired()
 }
 
+// KernelStats sums the scheduler observability counters over every
+// scheduler the network drives — the global one, or all region
+// schedulers in parallel mode. Call it only between Runs (the counters
+// are plain fields owned by the driving goroutines); it feeds the obs
+// layer and never influences the simulation.
+func (n *Network) KernelStats() sim.Stats {
+	if n.Exec == nil {
+		return n.Sched.Stats()
+	}
+	var agg sim.Stats
+	for i := 0; i < n.Exec.Regions(); i++ {
+		s := n.Exec.Sched(i).Stats()
+		agg.Fired += s.Fired
+		agg.Pushes += s.Pushes
+		agg.CalResizes += s.CalResizes
+	}
+	return agg
+}
+
 // Reset re-seeds a built network for a fresh run without rebuilding it:
 // the scheduler arena empties back to time zero, the random source
 // re-roots at seed, and every layer of every station (radio, MAC,

@@ -1,0 +1,281 @@
+// Package obs is the kernel-wide observability layer: a zero-dependency
+// metrics registry (counters, gauges, log-bucketed histograms), a run
+// report model with stable JSON and Prometheus text exposition, an HTTP
+// surface for live scraping, and the unified status writer the CLIs
+// share for stderr.
+//
+// The contract, carried from every determinism PR before it: metrics
+// live beside, never inside, the simulation state. Nothing in this
+// package may feed back into event order — registries only ever receive
+// copies of kernel counters, and every update is a single atomic
+// operation so a concurrent /metrics scrape can never perturb (or even
+// observe inconsistently enough to matter) a running simulation.
+//
+// The disabled path is free: a nil *Registry is the no-op registry. It
+// hands out nil metric handles, and every handle method starts with a
+// nil receiver check — one predictable branch, no allocation, no atomic
+// — so hot paths can keep unconditional Observe/Add calls.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a set of named metrics. The zero value is not usable; use
+// NewRegistry. A nil *Registry is the no-op ("Nop") registry: it is safe
+// to call every method on it, all handles come back nil, and nil handles
+// swallow updates for the cost of one branch.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	help   map[string]string
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+		help:   make(map[string]string),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Registration is idempotent: the same name always yields the
+// same handle, so independent subsystems (or successive replications)
+// can accumulate into one metric. Nil registries return nil handles.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counts[name]
+	if c == nil {
+		c = &Counter{}
+		r.counts[name] = c
+		r.help[name] = help
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Nil registries return nil handles.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.help[name] = help
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Nil registries return nil handles.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+		r.help[name] = help
+	}
+	return h
+}
+
+// Counter is a monotonically increasing uint64. Updates are one atomic
+// add; reads are one atomic load, so scrapers and simulators never
+// contend beyond the cache line.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil handle.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down (utilization, live worker
+// count). Stored as atomic bits so Set/Value are single atomics.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value. No-op on a nil handle.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (zero on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts uint64 observations (typically nanoseconds) into
+// fixed log-spaced buckets: observation v lands in bucket bits.Len64(v),
+// i.e. bucket i covers [2^(i-1), 2^i). The scheme needs no configuration,
+// covers the full uint64 range in 65 buckets, and makes Observe two
+// atomic adds (bucket + sum) and one atomic increment (count) — cheap
+// enough for per-window instrumentation, and entirely lock-free so
+// snapshotting mid-run is always safe.
+type Histogram struct {
+	buckets [65]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value. No-op on a nil handle.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (zero on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (zero on a nil handle).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// CounterSample is one counter in a snapshot.
+type CounterSample struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSample is one gauge in a snapshot.
+type GaugeSample struct {
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// BucketSample is one cumulative histogram bucket: Count observations
+// were at most UpperBound. Only non-empty buckets are emitted.
+type BucketSample struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramSample is one histogram in a snapshot.
+type HistogramSample struct {
+	Name    string         `json:"name"`
+	Help    string         `json:"help,omitempty"`
+	Count   uint64         `json:"count"`
+	Sum     uint64         `json:"sum"`
+	Buckets []BucketSample `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric name
+// within each kind so its JSON encoding is stable across runs and Go
+// versions. Taking a snapshot never blocks writers: every value is one
+// atomic load, so a snapshot taken mid-run is a consistent-enough view
+// (each metric individually exact, cross-metric skew bounded by the
+// scrape itself).
+type Snapshot struct {
+	Counters   []CounterSample   `json:"counters,omitempty"`
+	Gauges     []GaugeSample     `json:"gauges,omitempty"`
+	Histograms []HistogramSample `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every metric out of the registry. A nil registry
+// snapshots to the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counts := make(map[string]*Counter, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counts {
+		s.Counters = append(s.Counters, CounterSample{Name: name, Help: help[name], Value: c.Value()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSample{Name: name, Help: help[name], Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	for name, h := range hists {
+		hs := HistogramSample{Name: name, Help: help[name], Count: h.count.Load(), Sum: h.sum.Load()}
+		var cum uint64
+		for i := range h.buckets {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			cum += n
+			ub := uint64(math.MaxUint64)
+			if i < 64 {
+				ub = (uint64(1) << uint(i)) - 1
+			}
+			hs.Buckets = append(hs.Buckets, BucketSample{UpperBound: ub, Count: cum})
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"adhocsim/internal/trace"
+)
+
+func TestNilRegistryIsNop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil handles")
+	}
+	// Every handle method must be a no-op, not a panic.
+	c.Add(3)
+	c.Inc()
+	g.Set(1.5)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles reported non-zero values")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second registration ignored")
+	if a != b {
+		t.Fatal("same name yielded different counter handles")
+	}
+	a.Add(2)
+	b.Inc()
+	if got := r.Counter("x_total", "").Value(); got != 3 {
+		t.Fatalf("accumulated value = %d, want 3", got)
+	}
+	if h := r.Snapshot().Counters[0].Help; h != "first" {
+		t.Fatalf("help = %q, want the first registration's", h)
+	}
+}
+
+func TestGaugeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("util", "")
+	for _, v := range []float64{0, 0.25, -1, 1e308, math.Inf(1)} {
+		g.Set(v)
+		if got := g.Value(); got != v {
+			t.Fatalf("gauge round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "")
+	// 0 lands in bucket 0 (le 0); 1 in bucket 1 (le 1); 1000 in bucket
+	// 10 (le 1023).
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1000)
+	h.Observe(1023)
+	if h.Count() != 4 || h.Sum() != 2024 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	hs := r.Snapshot().Histograms[0]
+	want := []BucketSample{{0, 1}, {1, 2}, {1023, 4}}
+	if !reflect.DeepEqual(hs.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", hs.Buckets, want)
+	}
+	// Cumulative counts must be monotone and end at Count.
+	if hs.Buckets[len(hs.Buckets)-1].Count != hs.Count {
+		t.Fatal("last cumulative bucket != total count")
+	}
+}
+
+func TestSnapshotStableJSON(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Register in different orders; the snapshot sorts by name.
+		r.Counter("b_total", "bee").Add(2)
+		r.Counter("a_total", "ay").Add(1)
+		r.Gauge("z", "").Set(0.5)
+		r.Histogram("h_ns", "").Observe(7)
+		return r
+	}
+	one, err := json.Marshal(build().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry()
+	r2.Histogram("h_ns", "").Observe(7)
+	r2.Gauge("z", "").Set(0.5)
+	r2.Counter("a_total", "ay").Add(1)
+	r2.Counter("b_total", "bee").Add(2)
+	two, err := json.Marshal(r2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(one) != string(two) {
+		t.Fatalf("snapshot JSON depends on registration order:\n%s\n%s", one, two)
+	}
+	if !strings.Contains(string(one), `"a_total"`) {
+		t.Fatalf("unexpected snapshot JSON: %s", one)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total", "events").Add(5)
+	r.Gauge("util", "busy fraction").Set(0.75)
+	h := r.Histogram("wall_ns", "wall time")
+	h.Observe(3)
+	h.Observe(900)
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP events_total events",
+		"# TYPE events_total counter",
+		"events_total 5",
+		"# TYPE util gauge",
+		"util 0.75",
+		"# TYPE wall_ns histogram",
+		`wall_ns_bucket{le="3"} 1`,
+		`wall_ns_bucket{le="1023"} 2`,
+		`wall_ns_bucket{le="+Inf"} 2`,
+		"wall_ns_sum 903",
+		"wall_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sim_events_fired_total": "sim_events_fired_total",
+		"weird-name.metric":      "weird_name_metric",
+		"1starts_with_digit":     "_1starts_with_digit",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Add(9)
+	rep := &Report{Scenario: "x", Seed: 7}
+	srv := httptest.NewServer(Handler(r, func() *Report { return rep }))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, ct := get("/metrics"); code != 200 || !strings.Contains(body, "hits_total 9") || !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics: code=%d ct=%q body=%q", code, ct, body)
+	}
+	if code, body, _ := get("/report"); code != 200 || !strings.Contains(body, `"scenario": "x"`) {
+		t.Fatalf("/report: code=%d body=%q", code, body)
+	}
+	if code, _, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+	if code, _, _ := get("/nope"); code != 404 {
+		t.Fatalf("/nope: code=%d, want 404", code)
+	}
+
+	// A nil report func 404s /report; a nil registry serves an empty
+	// exposition. Neither panics.
+	srv2 := httptest.NewServer(Handler(nil, nil))
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("nil report: code=%d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(srv2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("nil registry /metrics: code=%d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("v_ns", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 4000 || h.Count() != 4000 {
+		t.Fatalf("counter=%d hist count=%d, want 4000", c.Value(), h.Count())
+	}
+}
+
+func TestReportJSONStable(t *testing.T) {
+	rep := &Report{
+		Scenario:     "demo",
+		Seed:         1,
+		Replications: 2,
+		Spans:        []trace.SpanRecord{{Name: "build", StartNS: 0, WallNS: 10}},
+		TraceTail:    []string{"line"},
+	}
+	var a, b strings.Builder
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("report JSON not deterministic")
+	}
+	if !strings.Contains(a.String(), `"wall_ns": 10`) {
+		t.Fatalf("span fields missing: %s", a.String())
+	}
+}
+
+func TestStatusSerializesLines(t *testing.T) {
+	var sb strings.Builder
+	s := NewStatus(&sb)
+	s.Progressf("working %d%%", 10)
+	s.Linef("note")
+	s.Progressf("working %d%%", 90)
+	s.Done()
+	out := sb.String()
+	// The full line must start on a fresh line, not splice into the
+	// meter, and Done must terminate the final meter.
+	if !strings.Contains(out, "\nnote\n") {
+		t.Fatalf("line spliced into progress meter: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Done left an unterminated line: %q", out)
+	}
+	// The writer adapter also clears the live line first.
+	s.Progressf("meter")
+	io.WriteString(s.Writer(), "trace line\n")
+	if !strings.Contains(sb.String(), "\ntrace line\n") {
+		t.Fatalf("writer spliced into meter: %q", sb.String())
+	}
+
+	var nilStatus *Status
+	nilStatus.Progressf("no panic")
+	nilStatus.Linef("no panic")
+	nilStatus.Done()
+	if nilStatus.Writer() != nil {
+		t.Fatal("nil status returned a writer")
+	}
+}

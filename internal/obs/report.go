@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"adhocsim/internal/trace"
+)
+
+// Report is the post-run observability document: what ran, how long each
+// phase took, and a full metrics snapshot. Its JSON encoding is stable —
+// spans in recording order, metrics sorted by name — so golden tests and
+// diffs over reports stay meaningful.
+type Report struct {
+	// Scenario names the spec that ran (empty for ad-hoc runs).
+	Scenario string `json:"scenario,omitempty"`
+	// Seed is the root seed of the run.
+	Seed uint64 `json:"seed"`
+	// Replications is the replication count (1 for single runs).
+	Replications int `json:"replications,omitempty"`
+	// Spans are the per-phase wall timings (build/run/drain and anything
+	// nested the layers recorded).
+	Spans []trace.SpanRecord `json:"spans,omitempty"`
+	// Metrics is the registry snapshot at report time.
+	Metrics Snapshot `json:"metrics"`
+	// TraceTail is the most recent execution-trace lines when -trace was
+	// active: the last thing the kernel did, embedded for post-mortems.
+	TraceTail []string `json:"trace_tail,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// promName sanitizes a metric name into the Prometheus exposition
+// charset [a-zA-Z0-9_:]. Registry names are already snake_case; this is
+// a guard, not a mangling scheme.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, counters and gauges as
+// single samples, histograms as cumulative le-labelled bucket series
+// plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		if c.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, c.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		if g.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, g.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %g\n", name, g.Value)
+	}
+	var err error
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		if h.Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, h.Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+		_, err = fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+	return err
+}

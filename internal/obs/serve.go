@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the live observability HTTP surface:
+//
+//	/metrics       Prometheus text exposition of the registry, scraped live
+//	/report        the full run report as JSON (built fresh per request)
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// report may be nil (the /report route then 404s); reg may be nil (both
+// data routes then serve empty documents — useful before a run starts).
+// Every scrape only performs atomic loads against the registry, so
+// serving during a run can never perturb simulation results.
+func Handler(reg *Registry, report func() *Report) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		if report == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		report().WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "adhocsim observability: /metrics /report /debug/pprof/")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability listener on addr (":9090",
+// "localhost:0") and serves Handler(reg, report) until the process
+// exits. It returns the bound address — useful with port 0 — or an
+// error if the listen fails. The server runs on a background goroutine;
+// a simulation never waits on a scraper.
+func Serve(addr string, reg *Registry, report func() *Report) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, report)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Status is the one writer every human-facing stderr line goes through:
+// carriage-return progress meters, the exec-plan line, trace output and
+// the final report summary all used to write to os.Stderr independently
+// and could interleave mid-line under parallel replications. Status
+// serializes them and tracks whether a live \r progress line is on
+// screen, so a full line printed mid-progress clears the meter first
+// instead of splicing into it.
+//
+// A nil *Status swallows everything, so plumbing it through optional
+// paths needs no guards.
+type Status struct {
+	mu   sync.Mutex
+	w    io.Writer
+	live bool // an unterminated \r progress line is on screen
+}
+
+// NewStatus wraps w (normally os.Stderr). A nil w yields a nil Status.
+func NewStatus(w io.Writer) *Status {
+	if w == nil {
+		return nil
+	}
+	return &Status{w: w}
+}
+
+// Progressf rewrites the live progress line: a leading carriage return,
+// the formatted text, no newline. Successive calls overwrite each other.
+func (s *Status) Progressf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	fmt.Fprintf(s.w, "\r"+format, args...)
+	s.live = true
+	s.mu.Unlock()
+}
+
+// Linef prints one full line, first terminating any live progress line
+// so the output never splices into a meter.
+func (s *Status) Linef(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.live {
+		fmt.Fprintln(s.w)
+		s.live = false
+	}
+	fmt.Fprintf(s.w, format+"\n", args...)
+	s.mu.Unlock()
+}
+
+// Done terminates a live progress line, if any. Call once after the work
+// the meter tracked finishes.
+func (s *Status) Done() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.live {
+		fmt.Fprintln(s.w)
+		s.live = false
+	}
+	s.mu.Unlock()
+}
+
+// Writer returns an io.Writer that routes through the status lock —
+// the adapter for APIs that want a plain writer (the trace package).
+// Writes are assumed to be whole lines. A nil Status returns nil.
+func (s *Status) Writer() io.Writer {
+	if s == nil {
+		return nil
+	}
+	return statusWriter{s}
+}
+
+type statusWriter struct{ s *Status }
+
+func (sw statusWriter) Write(p []byte) (int, error) {
+	sw.s.mu.Lock()
+	defer sw.s.mu.Unlock()
+	if sw.s.live {
+		fmt.Fprintln(sw.s.w)
+		sw.s.live = false
+	}
+	return sw.s.w.Write(p)
+}

@@ -10,6 +10,7 @@ import (
 	"adhocsim/internal/network"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/sim"
+	"adhocsim/internal/trace"
 )
 
 // This file implements DSDV (Destination-Sequenced Distance Vector,
@@ -208,8 +209,18 @@ type DSDV struct {
 	// relies on the owning scheduler's Reset to drop them wholesale.
 	triggerPending bool
 
+	// tr, when enabled, logs route changes and link breaks (SetTracer).
+	// Purely observational.
+	tr *trace.Tracer
+
 	Counters DSDVCounters
 }
+
+// SetTracer installs an execution tracer on the route-change and
+// link-break paths. A nil or disabled tracer costs one branch per route
+// event. Derive the handle with Tracer.WithClock on this station's
+// scheduler so timestamps follow its region clock in parallel mode.
+func (r *DSDV) SetTracer(t *trace.Tracer) { r.tr = t }
 
 var _ mac.TxObserver = (*DSDV)(nil)
 
@@ -486,12 +497,20 @@ func (r *DSDV) consider(from, dst network.Addr, seq uint32, metric uint8) {
 		if wasUsable {
 			r.node.Stack.DelRoute(dst)
 			r.Counters.RouteChanges++
+			if r.tr.Enabled(trace.LevelInfo) {
+				r.tr.Infof("dsdv %v: route to %v withdrawn (advertised broken via %v)",
+					r.node.Addr, dst, from)
+			}
 			r.scheduleTriggered() // propagate the break
 		}
 	default:
 		if !wasUsable || prevNext != from {
 			r.node.Stack.AddRoute(dst, from)
 			r.Counters.RouteChanges++
+			if r.tr.Enabled(trace.LevelInfo) {
+				r.tr.Infof("dsdv %v: route to %v via %v metric %d (was via %v metric %d)",
+					r.node.Addr, dst, from, metric, prevNext, prevMetric)
+			}
 		}
 		// New destinations and repaired routes are worth telling the
 		// neighborhood about immediately; pure metric drift waits for
@@ -539,6 +558,10 @@ func (r *DSDV) ObserveTx(o mac.TxOutcome) {
 		e.seq++ // odd: a break we observed, not the destination's word
 		r.node.Stack.DelRoute(dst)
 		r.Counters.RouteChanges++
+		if r.tr.Enabled(trace.LevelInfo) {
+			r.tr.Infof("dsdv %v: route to %v broken (next hop %v failed at the MAC)",
+				r.node.Addr, dst, neighbor)
+		}
 		broke = true
 	}
 	if broke {

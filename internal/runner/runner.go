@@ -23,6 +23,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adhocsim/internal/sim"
 )
@@ -47,6 +48,13 @@ type Config struct {
 	// would otherwise kill the process with no chance for the caller to
 	// attach context.
 	OnPanic func(*PanicError)
+	// OnJobDone, when non-nil, is called as each job finishes with its
+	// index, its wall-clock duration, and whether it panicked (panicked
+	// jobs still surface through OnPanic / re-panic as before — this
+	// hook is observability, not error handling). Calls may come from
+	// any worker goroutine concurrently; implementations must be safe
+	// for concurrent use and must not feed back into job behaviour.
+	OnJobDone func(i int, wall time.Duration, panicked bool)
 }
 
 // PanicError describes a fan-out job that panicked: which job, what it
@@ -103,6 +111,10 @@ func MapWith[S, T any](cfg Config, n int, fn func(state *S, i int) T) []T {
 	// Config.OnPanic.
 	panics := make([]*PanicError, n)
 	runJob := func(state *S, i int) {
+		var start time.Time
+		if cfg.OnJobDone != nil {
+			start = time.Now()
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				panics[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
@@ -111,6 +123,9 @@ func MapWith[S, T any](cfg Config, n int, fn func(state *S, i int) T) []T {
 				// this worker runs rebuilds from scratch.
 				var zero S
 				*state = zero
+			}
+			if cfg.OnJobDone != nil {
+				cfg.OnJobDone(i, time.Since(start), panics[i] != nil)
 			}
 		}()
 		out[i] = fn(state, i)

@@ -11,6 +11,7 @@ import (
 	"adhocsim/internal/mac"
 	"adhocsim/internal/medium"
 	"adhocsim/internal/node"
+	"adhocsim/internal/obs"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/routing"
 	"adhocsim/internal/sim"
@@ -60,6 +61,11 @@ type Instance struct {
 	// faultSched is the replication's compiled fault schedule; nil
 	// without a faults block. Recompiled per seed (churn re-draws).
 	faultSched *faults.Schedule
+
+	// pub mirrors the kernel's out-of-band counters into the obs
+	// registry; nil (all methods no-ops) unless the spec enables
+	// observability. See obs.go for the publishing discipline.
+	pub *obsPub
 }
 
 // Build validates the spec and compiles it into a live network with all
@@ -135,6 +141,12 @@ func Build(spec Spec) (*Instance, error) {
 		overrides[ov.Station] = ov
 	}
 	inst := &Instance{Spec: spec, Net: net, orig: orig, graph: graph}
+	reg := spec.ObsRegistry
+	if reg == nil && spec.Obs != nil && spec.Obs.Enabled {
+		reg = obs.NewRegistry()
+	}
+	inst.pub = newObsPub(reg)
+	inst.pub.attach(inst)
 	for i, pos := range positions {
 		params := spec.MAC
 		var stProfile *phy.Profile
@@ -171,6 +183,7 @@ func Build(spec Spec) (*Instance, error) {
 	if err := inst.wireRouting(positions, false); err != nil {
 		return nil, err
 	}
+	inst.wireTracer()
 	inst.attachWorkload()
 	if err := inst.installFaults(positions); err != nil {
 		return nil, err
@@ -493,10 +506,14 @@ func (inst *Instance) Reset(seed uint64) error {
 	}
 	s.Flows = flows
 	inst.Net.Reset(seed, positions)
+	// The kernels' counters just rewound to zero; rebase the publisher
+	// so the next publish reports only this replication's growth.
+	inst.pub.rebase(inst)
 	inst.Spec = s
 	if err := inst.wireRouting(positions, true); err != nil {
 		return err
 	}
+	inst.wireTracer()
 	inst.attachWorkload()
 	return inst.installFaults(positions)
 }
@@ -644,6 +661,10 @@ type Result struct {
 // Collect gathers the instance's metrics over the given horizon. It
 // does not advance the simulation; call it after driving Net yourself.
 func (inst *Instance) Collect(horizon time.Duration) Result {
+	// Flush the kernel counters into the obs registry (no-op with obs
+	// off). Strictly read-only with respect to the Result below: a run
+	// reports byte-identical metrics whether or not anyone is watching.
+	inst.pub.publish(inst)
 	res := Result{
 		Name:     inst.Spec.Name,
 		Seed:     inst.Spec.Seed,
@@ -762,6 +783,9 @@ func RunProgressExec(spec Spec, tick func(now, horizon time.Duration, fired uint
 	for i := 1; i <= steps; i++ {
 		target := time.Duration(int64(horizon) * int64(i) / steps)
 		inst.Net.Run(target - inst.Net.Now())
+		// Between slices no region worker runs, so this is a safe point
+		// to freshen a live /metrics view mid-run.
+		inst.pub.publish(inst)
 		tick(inst.Net.Now(), horizon, inst.Net.Fired())
 	}
 	return inst.Collect(horizon), inst.ExecStats(), nil

@@ -30,6 +30,11 @@ func (inst *Instance) installFaults(positions []phy.Position) error {
 	}
 	inst.faultSched = sched
 	inst.Net.Medium.SetDegradation(sched.Timeline(positions))
+	inst.pub.notePlanned(sched.EventCounts())
+	// Applied-edge counters, indexed by faults.Kind; nil handles (obs
+	// off) make the Incs below single-nil-check no-ops. The closures run
+	// on region goroutines in parallel mode — Inc is atomic.
+	fc := inst.pub.faultCounters()
 	for _, ev := range sched.Events() {
 		switch ev.Kind {
 		case faults.CrashEvent:
@@ -44,6 +49,7 @@ func (inst *Instance) installFaults(positions []phy.Position) error {
 				if len(inst.routers) > 0 {
 					inst.routers[idx].Crash()
 				}
+				fc[faults.CrashEvent].Inc()
 			})
 		case faults.RestartEvent:
 			st := inst.Net.Stations[ev.Station]
@@ -56,16 +62,23 @@ func (inst *Instance) installFaults(positions []phy.Position) error {
 				if len(inst.routers) > 0 {
 					inst.routers[idx].Restart()
 				}
+				fc[faults.RestartEvent].Inc()
 			})
 		case faults.OutageStartEvent:
 			if cbr := inst.cbrs[ev.Flow]; cbr != nil {
 				// The source's own scheduler: its tick/refill timers live
 				// there.
-				inst.Net.Stations[inst.Spec.Flows[ev.Flow].Src].Sched.After(ev.At, cbr.Pause)
+				inst.Net.Stations[inst.Spec.Flows[ev.Flow].Src].Sched.After(ev.At, func() {
+					cbr.Pause()
+					fc[faults.OutageStartEvent].Inc()
+				})
 			}
 		case faults.OutageEndEvent:
 			if cbr := inst.cbrs[ev.Flow]; cbr != nil {
-				inst.Net.Stations[inst.Spec.Flows[ev.Flow].Src].Sched.After(ev.At, cbr.Resume)
+				inst.Net.Stations[inst.Spec.Flows[ev.Flow].Src].Sched.After(ev.At, func() {
+					cbr.Resume()
+					fc[faults.OutageEndEvent].Inc()
+				})
 			}
 		}
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
+	"adhocsim/internal/obs"
 	"adhocsim/internal/runner"
 )
 
@@ -156,13 +158,25 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 	if reps < 1 {
 		reps = 1
 	}
+	// One registry serves the whole sweep: every worker's instance
+	// publishes into it. Callers that read the metrics pass their own
+	// via Spec.ObsRegistry; promoting here keeps the per-worker builds
+	// from each minting a private, unreachable one.
+	if spec.ObsRegistry == nil && spec.Obs != nil && spec.Obs.Enabled {
+		spec.ObsRegistry = obs.NewRegistry()
+	}
 	if spec.Parallel != nil {
 		return replicateParallel(spec, reps, workers, progress)
 	}
 	if spec.MACHook != nil {
 		workers = 1
 	}
-	cfg := runner.Config{Workers: workers, Progress: progress}
+	ro := newRunnerObs(spec.ObsRegistry)
+	var sweepStart time.Time
+	if spec.ObsRegistry != nil {
+		sweepStart = time.Now()
+	}
+	cfg := runner.Config{Workers: workers, Progress: progress, OnJobDone: ro.onJobDone()}
 	var runs []Result
 	if spec.MACHook != nil || rebuildEachRep {
 		runs = runner.Replicate(cfg, spec.Seed, reps, func(seed uint64) Result {
@@ -175,7 +189,19 @@ func Replicate(spec Spec, reps, workers int, progress func(done, total int)) (Su
 			return runReused(inst, spec, seed)
 		})
 	}
+	if spec.ObsRegistry != nil {
+		ro.noteSweep(min(reps, resolveWorkers(workers)), time.Since(sweepStart))
+	}
 	return summarize(spec, runs), nil
+}
+
+// resolveWorkers maps a Config-style worker count (0 = all CPUs) to the
+// effective count, for the utilization gauge.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 // replicateParallel runs a sweep whose replications carry the
@@ -202,7 +228,12 @@ func replicateParallel(spec Spec, reps, workers int, progress func(done, total i
 	}
 	par := *spec.Parallel
 	par.Workers = regionWorkers
-	cfg := runner.Config{Workers: repWorkers, Progress: progress}
+	ro := newRunnerObs(spec.ObsRegistry)
+	var sweepStart time.Time
+	if spec.ObsRegistry != nil {
+		sweepStart = time.Now()
+	}
+	cfg := runner.Config{Workers: repWorkers, Progress: progress, OnJobDone: ro.onJobDone()}
 	outs := runner.Replicate(cfg, spec.Seed, reps, func(seed uint64) outcome {
 		s := spec
 		s.Seed = seed
@@ -218,6 +249,9 @@ func replicateParallel(spec Spec, reps, workers int, progress func(done, total i
 		inst.Net.Run(horizon)
 		return outcome{res: inst.Collect(horizon), es: inst.ExecStats()}
 	})
+	if spec.ObsRegistry != nil {
+		ro.noteSweep(repWorkers, time.Since(sweepStart))
+	}
 	runs := make([]Result, len(outs))
 	for i, o := range outs {
 		runs[i] = o.res

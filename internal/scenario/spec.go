@@ -20,9 +20,11 @@ import (
 	"time"
 
 	"adhocsim/internal/mac"
+	"adhocsim/internal/obs"
 	"adhocsim/internal/phy"
 	"adhocsim/internal/routing"
 	"adhocsim/internal/sim"
+	"adhocsim/internal/trace"
 )
 
 // Duration is a time.Duration that marshals to JSON as a human-readable
@@ -403,6 +405,31 @@ type Spec struct {
 	// the programmatic escape hatch for non-serializable configuration —
 	// rate controllers, ablation mutations. Not serialized.
 	MACHook func(station int, cfg *mac.Config) `json:"-"`
+
+	// Obs opts the run into the out-of-band observability layer
+	// (internal/obs): kernel, medium, runner and fault metrics collected
+	// into a registry the run report and the live /metrics endpoint
+	// read. Strictly out-of-band — results are byte-identical with it
+	// on, off, or scraped mid-run.
+	Obs *ObsParams `json:"obs,omitempty"`
+
+	// ObsRegistry, when non-nil, is the registry the run publishes into,
+	// shared across replications (counters accumulate via atomic adds).
+	// Not serialized; nil with Obs.Enabled makes Build create one
+	// (retrieve it with Instance.Obs). Implies Obs when set.
+	ObsRegistry *obs.Registry `json:"-"`
+
+	// Tracer, when non-nil, is the execution tracer wired into the MAC
+	// retry/backoff and routing route-change paths (adhocsim -trace).
+	// Each station gets a WithClock handle on its own scheduler. Not
+	// serialized, purely observational.
+	Tracer *trace.Tracer `json:"-"`
+}
+
+// ObsParams is the Spec's observability block.
+type ObsParams struct {
+	// Enabled turns metric collection on for this run.
+	Enabled bool `json:"enabled"`
 }
 
 func (s Spec) withDefaults() Spec {

@@ -365,6 +365,7 @@ func (c *calendar) resize(s *Scheduler, n int) {
 	if n < calMinBuckets {
 		n = calMinBuckets
 	}
+	s.calResizes++
 	sc := c.scratch[:0]
 	for _, b := range c.buckets {
 		sc = append(sc, b...)

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"adhocsim/internal/obs"
 )
 
 // Exec runs a set of region schedulers in parallel under a conservative
@@ -103,7 +105,25 @@ type Exec struct {
 	sequential bool
 	until      time.Duration
 	windowsRun uint64
+	hooks      ExecObs
 }
+
+// ExecObs holds the executor's optional out-of-band timing hooks. The
+// histograms are updated with single atomic adds and never read by the
+// protocol, so enabling them cannot change a result; nil histograms
+// cost one branch per window (wall) or per barrier crossing (wait).
+type ExecObs struct {
+	// WindowWall receives worker 0's wall-clock nanoseconds per full
+	// window iteration (prep + barrier + execute + barrier).
+	WindowWall *obs.Histogram
+	// BarrierWait receives every worker's wall-clock nanoseconds spent
+	// inside each barrier crossing — the direct measure of load
+	// imbalance (idle workers wait; the straggler doesn't).
+	BarrierWait *obs.Histogram
+}
+
+// SetObs installs the executor's timing hooks. Call between Runs only.
+func (e *Exec) SetObs(h ExecObs) { e.hooks = h }
 
 // execRegion is one region's execution state.
 type execRegion struct {
@@ -377,6 +397,11 @@ func (e *Exec) windows(w, stride int, bar *barrier) {
 	n := len(e.regions)
 	until := int64(e.until)
 	for {
+		timeWin := w == 0 && e.hooks.WindowWall != nil
+		var winStart time.Time
+		if timeWin {
+			winStart = time.Now()
+		}
 		if w == 0 {
 			e.windowsRun++
 		}
@@ -384,7 +409,7 @@ func (e *Exec) windows(w, stride int, bar *barrier) {
 			e.prep(e.regions[i])
 		}
 		if bar != nil {
-			bar.wait()
+			e.barWait(bar)
 		}
 		g := infClock
 		for _, r := range e.regions {
@@ -430,9 +455,26 @@ func (e *Exec) windows(w, stride int, bar *barrier) {
 			}
 		}
 		if bar != nil {
-			bar.wait()
+			e.barWait(bar)
+		}
+		if timeWin {
+			e.hooks.WindowWall.Observe(uint64(time.Since(winStart)))
 		}
 	}
+}
+
+// barWait crosses the window barrier, optionally timing the wait into
+// the BarrierWait histogram. The observation happens after the crossing
+// completes, so it never delays the workers the barrier releases.
+func (e *Exec) barWait(bar *barrier) {
+	h := e.hooks.BarrierWait
+	if h == nil {
+		bar.wait()
+		return
+	}
+	t := time.Now()
+	bar.wait()
+	h.Observe(uint64(time.Since(t)))
 }
 
 // prep readies a region for the next window: drain the inbox, inject

@@ -108,6 +108,26 @@ type Scheduler struct {
 	cal   *calendar   // non-nil selects the calendar backend (SetKind)
 	seq   uint64
 	fired uint64
+
+	// Out-of-band observability counters (Stats): plain fields because a
+	// scheduler is owned by exactly one goroutine; the obs layer copies
+	// them out only at barrier-safe points.
+	pushes     uint64 // queue insertions (heap pushes or calendar inserts)
+	calResizes uint64 // calendar-queue bucket-array resizes
+}
+
+// Stats is a point-in-time copy of a scheduler's out-of-band counters.
+// Read it only from the goroutine driving the scheduler (or across a
+// barrier in parallel mode); it never influences event order.
+type Stats struct {
+	Fired      uint64 // events executed
+	Pushes     uint64 // queue insertions (heap or calendar backend)
+	CalResizes uint64 // calendar bucket-array resizes (0 on the heap backend)
+}
+
+// Stats returns the scheduler's observability counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{Fired: s.fired, Pushes: s.pushes, CalResizes: s.calResizes}
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -187,6 +207,7 @@ func (s *Scheduler) schedule(t time.Duration, fn func(), act Action) Event {
 
 // push files an entry into the active backend's queue structure.
 func (s *Scheduler) push(e heapEntry) {
+	s.pushes++
 	if s.cal != nil {
 		s.cal.insert(s, e)
 		return
@@ -393,6 +414,8 @@ func (s *Scheduler) Reset() {
 	s.now = 0
 	s.seq = 0
 	s.fired = 0
+	s.pushes = 0
+	s.calResizes = 0
 }
 
 // less orders heap entries by (time, schedule subkey, sequence): FIFO

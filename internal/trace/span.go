@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span: a named phase of a run (build, run,
+// drain) or anything nested the layers chose to time, with its offset
+// from the recorder's epoch and its wall-clock duration.
+type SpanRecord struct {
+	Name    string        `json:"name"`
+	StartNS time.Duration `json:"start_ns"`
+	WallNS  time.Duration `json:"wall_ns"`
+}
+
+// SpanRecorder collects spans for the run report. It is safe for
+// concurrent use, and a nil *SpanRecorder is the disabled recorder:
+// StartSpan returns a nil *Span whose End is a no-op, so phase timing
+// calls need no guards on paths where observability is off.
+type SpanRecorder struct {
+	mu    sync.Mutex
+	epoch time.Time
+	recs  []SpanRecord
+}
+
+// NewSpanRecorder creates a recorder whose span offsets are relative to
+// now.
+func NewSpanRecorder() *SpanRecorder {
+	return &SpanRecorder{epoch: time.Now()}
+}
+
+// Span is one in-flight phase timing. Close it with End.
+type Span struct {
+	rec   *SpanRecorder
+	name  string
+	start time.Time
+}
+
+// StartSpan begins timing a named phase. Nil recorders return nil spans.
+func (r *SpanRecorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{rec: r, name: name, start: time.Now()}
+}
+
+// End finishes the span and records it. No-op on a nil span; ending a
+// span twice records it twice (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	r := s.rec
+	r.mu.Lock()
+	r.recs = append(r.recs, SpanRecord{
+		Name:    s.name,
+		StartNS: s.start.Sub(r.epoch),
+		WallNS:  end.Sub(s.start),
+	})
+	r.mu.Unlock()
+}
+
+// Records returns a copy of the finished spans in completion order.
+func (r *SpanRecorder) Records() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, len(r.recs))
+	copy(out, r.recs)
+	return out
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanRecorder(t *testing.T) {
+	rec := NewSpanRecorder()
+	sp := rec.StartSpan("build")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp = rec.StartSpan("run")
+	sp.End()
+	recs := rec.Records()
+	if len(recs) != 2 || recs[0].Name != "build" || recs[1].Name != "run" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].WallNS < time.Millisecond {
+		t.Fatalf("build wall = %v, want >= 1ms", recs[0].WallNS)
+	}
+	if recs[1].StartNS < recs[0].StartNS {
+		t.Fatal("spans out of epoch order")
+	}
+	// Records returns a copy: mutating it must not corrupt the recorder.
+	recs[0].Name = "mutated"
+	if rec.Records()[0].Name != "build" {
+		t.Fatal("Records exposed internal state")
+	}
+}
+
+func TestNilSpanRecorder(t *testing.T) {
+	var rec *SpanRecorder
+	sp := rec.StartSpan("anything")
+	sp.End() // must not panic
+	if rec.Records() != nil {
+		t.Fatal("nil recorder has records")
+	}
+}
+
+func TestWithClockSharesSink(t *testing.T) {
+	var sb mockWriter
+	tr := New(&sb, LevelInfo, func() time.Duration { return time.Second })
+	h := tr.WithClock(func() time.Duration { return 2 * time.Second })
+	tr.Infof("base")
+	h.Infof("derived")
+	// Both lines land in the shared ring, stamped by their own clocks.
+	recent := tr.Recent(2)
+	if len(recent) != 2 {
+		t.Fatalf("shared ring has %d lines, want 2", len(recent))
+	}
+	if got := h.Recent(2); len(got) != 2 {
+		t.Fatal("derived handle does not see the shared ring")
+	}
+	var nilTr *Tracer
+	if nilTr.WithClock(func() time.Duration { return 0 }) != nil {
+		t.Fatal("WithClock on nil tracer must stay nil")
+	}
+}
+
+type mockWriter struct{ n int }
+
+func (m *mockWriter) Write(p []byte) (int, error) { m.n += len(p); return len(p), nil }

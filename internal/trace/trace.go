@@ -1,12 +1,15 @@
 // Package trace provides a lightweight, optional event log for
 // debugging simulations: timestamped, leveled lines into any io.Writer,
-// plus a bounded ring buffer for post-mortem inspection in tests.
-// Tracing is off by default and costs one branch per call when disabled.
+// plus a bounded ring buffer for post-mortem inspection in tests, and a
+// span API (StartSpan/End) for per-phase wall timings that feed the obs
+// run report. Tracing is off by default and costs one branch per call
+// when disabled.
 package trace
 
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -20,26 +23,64 @@ const (
 	LevelDebug
 )
 
-// Tracer writes simulation events. The zero value is a disabled tracer;
-// construct with New for an active one.
-type Tracer struct {
-	w     io.Writer
-	level Level
-	clock func() time.Duration
+// ParseLevel maps the CLI spellings to a Level: "off", "info", "debug".
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "off", "":
+		return LevelOff, nil
+	case "info":
+		return LevelInfo, nil
+	case "debug":
+		return LevelDebug, nil
+	}
+	return LevelOff, fmt.Errorf("trace: unknown level %q (want off, info or debug)", s)
+}
 
+// traceCore is the shared sink behind one or more Tracer handles: the
+// writer, the post-mortem ring, and the mutex serializing them. Handles
+// derived with WithClock all point at one core, so MAC and routing call
+// sites on different region schedulers interleave whole lines instead
+// of corrupting each other under the parallel kernel.
+type traceCore struct {
+	mu   sync.Mutex
+	w    io.Writer
 	ring []string
 	next int
+}
+
+// Tracer writes simulation events. The zero value and nil are disabled
+// tracers; construct with New for an active one.
+type Tracer struct {
+	core  *traceCore
+	level Level
+	clock func() time.Duration
 }
 
 // New returns a tracer writing to w at the given level, timestamping
 // events with clock (normally the scheduler's Now).
 func New(w io.Writer, level Level, clock func() time.Duration) *Tracer {
-	return &Tracer{w: w, level: level, clock: clock, ring: make([]string, 256)}
+	return &Tracer{
+		core:  &traceCore{w: w, ring: make([]string, 256)},
+		level: level,
+		clock: clock,
+	}
+}
+
+// WithClock derives a tracer handle sharing this tracer's writer, level
+// and ring but timestamping with its own clock. In parallel mode every
+// station lives on a region scheduler with its own local time; handing
+// each subsystem a WithClock(station.Sched.Now) handle keeps timestamps
+// honest while all output still funnels through one serialized sink.
+func (t *Tracer) WithClock(clock func() time.Duration) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{core: t.core, level: t.level, clock: clock}
 }
 
 // Enabled reports whether events at level l would be emitted.
 func (t *Tracer) Enabled(l Level) bool {
-	return t != nil && t.w != nil && l <= t.level
+	return t != nil && t.core != nil && t.core.w != nil && l <= t.level
 }
 
 // Infof logs a significant event (frame delivered, session state).
@@ -53,25 +94,34 @@ func (t *Tracer) emit(l Level, format string, args ...any) {
 		return
 	}
 	line := fmt.Sprintf("[%12v] %s", t.clock(), fmt.Sprintf(format, args...))
-	fmt.Fprintln(t.w, line)
-	t.ring[t.next%len(t.ring)] = line
-	t.next++
+	c := t.core
+	c.mu.Lock()
+	fmt.Fprintln(c.w, line)
+	c.ring[c.next%len(c.ring)] = line
+	c.next++
+	c.mu.Unlock()
 }
 
 // Recent returns up to n of the most recent trace lines, oldest first.
 func (t *Tracer) Recent(n int) []string {
-	if t == nil || t.next == 0 {
+	if t == nil || t.core == nil {
 		return nil
 	}
-	if n > len(t.ring) {
-		n = len(t.ring)
+	c := t.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.next == 0 {
+		return nil
 	}
-	if n > t.next {
-		n = t.next
+	if n > len(c.ring) {
+		n = len(c.ring)
+	}
+	if n > c.next {
+		n = c.next
 	}
 	out := make([]string, 0, n)
-	for i := t.next - n; i < t.next; i++ {
-		out = append(out, t.ring[i%len(t.ring)])
+	for i := c.next - n; i < c.next; i++ {
+		out = append(out, c.ring[i%len(c.ring)])
 	}
 	return out
 }
